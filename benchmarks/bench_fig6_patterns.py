@@ -1,0 +1,123 @@
+"""Fig. 6 + Section VI-B — qualitative pattern analysis.
+
+Prints the most informative a-stars found in the DBLP, DBLP-Trend,
+USFlight and Pokec analogues and checks that the planted correlations
+the paper highlights are recovered:
+
+* DBLP: a data-mining venue core keeps data-mining venues as leaves;
+* USFlight: ({NbDepart-}, {NbDepart+, DelayArriv-});
+* Pokec: rap with {rock, metal, pop, sladaky}; disko with oldies.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import bench_scale
+from repro.core.miner import CSPM
+from repro.datasets import load_dataset
+
+_DM_VENUES = {"ICDM", "EDBT", "PODS", "KDD", "SDM", "DMKD", "PAKDD"}
+_YOUNG_TASTES = {"rock", "metal", "pop", "sladaky", "hiphop", "punk"}
+_OLDER_TASTES = {"oldies", "folk", "country", "dychovka", "disko"}
+
+
+@pytest.fixture(scope="module")
+def results():
+    scale = bench_scale()
+    mined = {}
+    for name, base_scale in (
+        ("dblp", 1.0),
+        ("dblp-trend", 1.0),
+        ("usflight", 1.0),
+        ("pokec", None),
+    ):
+        effective = None if base_scale is None else base_scale * scale
+        graph = load_dataset(name, scale=effective, seed=0)
+        mined[name] = CSPM().fit(graph)
+    return mined
+
+
+def _top_lines(result, core_value=None, k=5):
+    stars = result.filter(min_leafset_size=2, core_value=core_value)
+    return [f"  {star}" for star in stars[:k]]
+
+
+def test_fig6_dblp_patterns(results, report_writer, benchmark):
+    benchmark.pedantic(
+        lambda: results["dblp"].filter(min_leafset_size=2), rounds=1, iterations=1
+    )
+    result = results["dblp"]
+    lines = ["Fig. 6(a) analogue: DBLP patterns"] + _top_lines(result)
+    # A data-mining-venue core should keep data-mining venues as leaves.
+    dm_stars = [
+        star
+        for star in result.filter(min_leafset_size=2)
+        if star.coreset & _DM_VENUES
+    ]
+    assert dm_stars, "no data-mining venue pattern found"
+    best = dm_stars[0]
+    overlap = len(best.leafset & _DM_VENUES) / len(best.leafset)
+    assert overlap >= 0.5, f"leafset {set(best.leafset)} not venue-coherent"
+    report_writer("fig6_dblp", "\n".join(lines))
+
+
+def test_fig6_dblp_trend_patterns(results, report_writer, benchmark):
+    benchmark.pedantic(
+        lambda: results["dblp-trend"].filter(min_leafset_size=2),
+        rounds=1,
+        iterations=1,
+    )
+    result = results["dblp-trend"]
+    lines = ["Fig. 6(b) analogue: DBLP-Trend patterns"] + _top_lines(result)
+    # Trend-suffixed values must appear in mined patterns.
+    top = result.filter(min_leafset_size=2)[:20]
+    assert any(
+        any(str(v).endswith(("+", "-", "=")) for v in star.leafset)
+        for star in top
+    )
+    report_writer("fig6_dblp_trend", "\n".join(lines))
+
+
+def test_usflight_pattern(results, report_writer, benchmark):
+    benchmark.pedantic(
+        lambda: results["usflight"].filter(core_value="NbDepart-"),
+        rounds=1,
+        iterations=1,
+    )
+    result = results["usflight"]
+    lines = ["Section VI-B(2) analogue: USFlight patterns"]
+    lines += _top_lines(result, core_value="NbDepart-", k=5)
+    # The paper's example: ({NbDepart-}, {NbDepart+, DelayArriv-}).
+    stars = result.filter(core_value="NbDepart-")
+    covered = set()
+    for star in stars:
+        covered |= set(star.leafset)
+    assert {"NbDepart+", "DelayArriv-"} <= covered
+    report_writer("fig6_usflight", "\n".join(lines))
+
+
+def test_fig6_pokec_patterns(results, report_writer, benchmark):
+    benchmark.pedantic(
+        lambda: results["pokec"].filter(min_leafset_size=2), rounds=1, iterations=1
+    )
+    result = results["pokec"]
+    lines = ["Fig. 6(c) analogue: Pokec patterns"]
+    lines += _top_lines(result, core_value="rap", k=3)
+    lines += _top_lines(result, core_value="disko", k=3)
+    # rap core -> young-taste leaves (rock/metal/pop/sladaky...).
+    rap = result.filter(min_leafset_size=2, core_value="rap")
+    assert rap, "no rap pattern"
+    assert rap[0].leafset & _YOUNG_TASTES
+    # disko core -> older tastes (oldies/disko...).
+    disko = result.filter(min_leafset_size=2, core_value="disko")
+    assert disko, "no disko pattern"
+    assert disko[0].leafset & _OLDER_TASTES
+    # The two communities' best patterns do not leak into each other.
+    assert not (rap[0].leafset & _OLDER_TASTES)
+    report_writer("fig6_pokec", "\n".join(lines))
+
+
+def test_benchmark_pattern_ranking(benchmark, results):
+    result = results["dblp"]
+    benchmark(result.filter, min_leafset_size=2)

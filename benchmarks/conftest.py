@@ -1,0 +1,35 @@
+"""Shared benchmark helpers.
+
+Every benchmark prints the table/figure series it regenerates *and*
+appends it to ``benchmarks/results/<name>.txt`` so the output survives
+pytest's capture.  ``REPRO_BENCH_SCALE`` (default 1.0) scales the
+dataset sizes: pass e.g. ``REPRO_BENCH_SCALE=0.5`` for a faster pass.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def bench_scale() -> float:
+    """Global workload multiplier for the benchmark suite."""
+    return float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+
+
+@pytest.fixture(scope="session")
+def report_writer():
+    """Writes a named report block to stdout and to results/<name>.txt."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def write(name: str, text: str) -> None:
+        banner = f"\n===== {name} =====\n"
+        print(banner + text)
+        path = RESULTS_DIR / f"{name}.txt"
+        path.write_text(text + "\n")
+
+    return write

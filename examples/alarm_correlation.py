@@ -1,0 +1,72 @@
+"""Telecom alarm correlation analysis (the paper's Section VI-D).
+
+Simulates an alarm feed from a device network with a planted AABD-style
+rule library (11 star rules -> 121 pair rules), mines a-stars with
+CSPM, extracts cause -> derivative rules, and compares the coverage
+ratio of CSPM and the ACOR baseline (the paper's Fig. 8).
+
+Usage::
+
+    python examples/alarm_correlation.py
+"""
+
+from repro.alarms import (
+    acor_rank_pairs,
+    coverage_curve,
+    cspm_rank_pairs,
+    default_rule_library,
+    simulate_alarms,
+)
+
+
+def main() -> None:
+    library = default_rule_library(seed=0)
+    print(
+        f"planted rule library: {len(library.rules)} star rules, "
+        f"{library.num_pair_rules} pair rules"
+    )
+    for rule in library.rules[:3]:
+        derivatives = ", ".join(rule.derivatives[:3])
+        print(f"  ({rule.cause}, {{{derivatives}, ...}})")
+
+    simulation = simulate_alarms(
+        library,
+        num_devices=100,
+        num_windows=250,
+        causes_per_window=2.5,
+        propagation=0.85,
+        neighbour_fraction=0.85,
+        num_noise_types=40,
+        noise_rate=3.0,
+        # Realistic interference: flapping derivatives, fault cascades
+        # and window-boundary splits (see DESIGN.md).
+        derivative_flap_rate=2.0,
+        cascade_probability=0.4,
+        window_split_probability=0.5,
+        seed=1,
+    )
+    print(
+        f"\nsimulated {simulation.num_events} alarms of "
+        f"{len(simulation.alarm_types())} types over "
+        f"{simulation.num_windows} windows"
+    )
+
+    cspm_ranked = cspm_rank_pairs(simulation)
+    acor_ranked = acor_rank_pairs(simulation)
+    print("\ntop CSPM alarm rules (* = in the planted library):")
+    truth = set(library.pair_rules())
+    for pair, score in cspm_ranked[:8]:
+        marker = "*" if pair in truth else " "
+        print(f"  {marker} {pair}   (score {score:.2f})")
+
+    ks = [50, 100, 250, 500, 1000, 1500, 2000]
+    cspm_cov = coverage_curve(cspm_ranked, library.pair_rules(), ks)
+    acor_cov = coverage_curve(acor_ranked, library.pair_rules(), ks)
+    print("\ncoverage ratio (Fig. 8):")
+    print("  top-K :" + "".join(f"{k:>7}" for k in ks))
+    print("  CSPM  :" + "".join(f"{v:>7.2f}" for v in cspm_cov))
+    print("  ACOR  :" + "".join(f"{v:>7.2f}" for v in acor_cov))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+"""Graph classification with a-star features (paper's future work 1).
+
+The paper's conclusion proposes using mined a-stars for graph-level
+learning.  This example builds two families of attributed graphs whose
+only difference is *which* attribute correlation their communities
+carry, embeds every graph over a shared mined a-star vocabulary, and
+trains a logistic head on those features.
+
+Usage::
+
+    python examples/graph_classification.py
+"""
+
+from repro.core.features import AStarFeaturizer, LogisticAStarClassifier
+from repro.graphs.generators import PlantedAStar, planted_astar_graph
+
+
+def make_dataset(count, seed):
+    """Class 0: smokers' friends drink; class 1: smokers' friends jog."""
+    graphs, labels = [], []
+    for index in range(count):
+        label = index % 2
+        leaves = ("beer",) if label == 0 else ("jogging",)
+        graph, _ = planted_astar_graph(
+            num_vertices=30,
+            num_edges=70,
+            patterns=[PlantedAStar("smoker", leaves, strength=0.95)],
+            noise_values=("coffee", "tea"),
+            noise_rate=0.2,
+            seed=seed + index,
+        )
+        graphs.append(graph)
+        labels.append(label)
+    return graphs, labels
+
+
+def main() -> None:
+    train_graphs, train_labels = make_dataset(20, seed=0)
+    test_graphs, test_labels = make_dataset(10, seed=1000)
+
+    featurizer = AStarFeaturizer(vocabulary_size=30)
+    classifier = LogisticAStarClassifier(featurizer=featurizer, seed=0)
+    classifier.fit(train_graphs, train_labels)
+
+    print("shared a-star vocabulary (top 6):")
+    for star in featurizer.vocabulary[:6]:
+        print(f"  {star}")
+
+    train_accuracy = classifier.score(train_graphs, train_labels)
+    test_accuracy = classifier.score(test_graphs, test_labels)
+    print(f"\ntrain accuracy: {train_accuracy:.2f}")
+    print(f"test accuracy : {test_accuracy:.2f}")
+    probabilities = classifier.predict_proba(test_graphs[:4])
+    print("sample probabilities:", [round(float(p), 3) for p in probabilities])
+
+
+if __name__ == "__main__":
+    main()

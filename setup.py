@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The offline environment has no ``wheel`` package, so PEP 660 editable
+installs (``pip install -e .``) cannot build; ``python setup.py
+develop`` provides the legacy editable path.  All metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

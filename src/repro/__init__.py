@@ -1,0 +1,60 @@
+"""CSPM — mining representative attribute-stars via MDL.
+
+A faithful, from-scratch reproduction of the ICDE 2022 paper
+*"Discovering Representative Attribute-stars via Minimum Description
+Length"* (Liu, Zhou, Fournier-Viger, Yang, Pan, Nouioua).
+
+The package is organised around the paper's pipeline:
+
+``repro.graphs``
+    The attributed-graph substrate: data structure, builders, IO,
+    statistics and synthetic generators.
+``repro.core``
+    The paper's primary contribution: the inverted database, MDL
+    accounting, the CSPM-Basic and CSPM-Partial search procedures, and
+    the a-star scoring module (Algorithm 5).
+``repro.itemsets``
+    Krimp and SLIM, the MDL itemset miners used both as the multi-value
+    coreset encoder (Section IV-F) and as the runtime baseline of
+    Table III.
+``repro.nn`` / ``repro.completion``
+    A numpy autograd substrate with graph neural baselines and the node
+    attribute completion task of Table IV.
+``repro.alarms``
+    The telecom alarm-correlation application of Fig. 8, with a
+    synthetic alarm simulator and the ACOR baseline.
+``repro.datasets``
+    Synthetic analogues of the paper's benchmark datasets.
+
+Quickstart::
+
+    from repro import CSPM, AttributedGraph
+
+    graph = AttributedGraph.from_edges(
+        edges=[(1, 2), (1, 3)],
+        attributes={1: {"a"}, 2: {"a", "c"}, 3: {"c"}},
+    )
+    result = CSPM().fit(graph)
+    for star in result.top(5):
+        print(star)
+"""
+
+from repro.core.astar import AStar
+from repro.core.miner import CSPM, CSPMResult
+from repro.core.scoring import AStarScorer
+from repro.errors import GraphError, MiningError, ReproError
+from repro.graphs.attributed_graph import AttributedGraph
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AStar",
+    "AStarScorer",
+    "AttributedGraph",
+    "CSPM",
+    "CSPMResult",
+    "GraphError",
+    "MiningError",
+    "ReproError",
+    "__version__",
+]

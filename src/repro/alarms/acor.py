@@ -1,0 +1,87 @@
+"""ACOR: pairwise alarm-correlation mining (the Fig. 8 comparator).
+
+ACOR (Fournier-Viger et al., "Discovering alarm correlation rules for
+network fault management") models alarm data as a dynamic attributed
+graph and scores each *pair* of alarm types by a tailored correlation
+measure over co-occurrences on the same or adjacent devices within a
+time window; the measure's asymmetry decides which alarm of the pair
+is the cause.  The original implementation is closed; this
+reimplementation follows that description.
+
+The property the paper credits for CSPM's better ranking — ACOR
+evaluates every pair *separately*, with no global model — is inherent
+to this formulation.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, List, Set, Tuple
+
+from repro.alarms.generator import AlarmSimulation
+from repro.alarms.types import PairRule
+
+
+def _window_occurrences(
+    simulation: AlarmSimulation,
+) -> Dict[int, Dict[str, Set[int]]]:
+    """window -> alarm type -> devices that raised it."""
+    occurrences: Dict[int, Dict[str, Set[int]]] = {}
+    for event in simulation.events:
+        occurrences.setdefault(event.window, {}).setdefault(
+            event.alarm_type, set()
+        ).add(event.device)
+    return occurrences
+
+
+def acor_rank_pairs(
+    simulation: AlarmSimulation,
+    max_pairs: int = None,
+) -> List[Tuple[PairRule, float]]:
+    """Ranked directed pair rules with their correlation scores.
+
+    For alarm types ``a`` and ``b``, co-occurrence counts windows in
+    which some device raising ``a`` equals or neighbours a device
+    raising ``b``.  The symmetric correlation is the Jaccard ratio
+    ``co / (n_a + n_b - co)`` over window occurrences; the direction is
+    chosen by confidence asymmetry: derivative alarms fire only in a
+    subset of their cause's windows, so the *more frequent* alarm of a
+    correlated pair is named the cause — mirroring ACOR's per-pair
+    importance assignment.
+    """
+    occurrences = _window_occurrences(simulation)
+    topology = simulation.topology
+    window_counts: Counter = Counter()
+    co_counts: Counter = Counter()
+
+    for _window, by_type in occurrences.items():
+        types = sorted(by_type)
+        for alarm in types:
+            window_counts[alarm] += 1
+        for i, a in enumerate(types):
+            devices_a = by_type[a]
+            near_a: Set[int] = set()
+            for device in devices_a:
+                near_a.add(device)
+                near_a |= topology.get(device, set())
+            for b in types[i + 1 :]:
+                if by_type[b] & near_a:
+                    co_counts[(a, b)] += 1
+
+    ranked: List[Tuple[PairRule, float]] = []
+    for (a, b), co in co_counts.items():
+        n_a = window_counts[a]
+        n_b = window_counts[b]
+        correlation = co / (n_a + n_b - co)
+        if n_a >= n_b:
+            cause, derivative = a, b
+        else:
+            cause, derivative = b, a
+        ranked.append((PairRule(cause, derivative), correlation))
+        # The secondary orientation is also emitted, discounted: a
+        # pairwise miner cannot rule it out, it just trusts it less.
+        ranked.append((PairRule(derivative, cause), correlation * 0.5))
+    ranked.sort(key=lambda item: (-item[1], item[0].cause, item[0].derivative))
+    if max_pairs is not None:
+        ranked = ranked[:max_pairs]
+    return ranked

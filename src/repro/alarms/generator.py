@@ -1,0 +1,222 @@
+"""Synthetic telecom alarm feed with a planted rule library.
+
+Substitutes the paper's proprietary alarm dataset (6M alarms, 300
+types, collected over 5 days in a metropolitan network).  The simulator
+
+1. builds a device topology (a connected random network);
+2. in each correlation window, fires root-cause alarms at random
+   devices according to the planted rule library;
+3. propagates each cause's derivative alarms onto the same device or a
+   direct neighbour (telecom faults cascade along links);
+4. sprinkles noise alarms uncorrelated with any rule.
+
+The resulting event log is converted into the paper's data model — a
+dynamic attributed graph, represented as the disjoint union of one
+attributed topology copy per window, with each device's attribute set
+holding the alarm types it raised in that window.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Set, Tuple
+
+from repro.alarms.rules import RuleLibrary
+from repro.alarms.types import AlarmEvent
+from repro.errors import DatasetError
+from repro.graphs.attributed_graph import AttributedGraph
+
+
+@dataclass
+class AlarmSimulation:
+    """The output of :func:`simulate_alarms`."""
+
+    events: List[AlarmEvent]
+    topology: Dict[int, Set[int]]
+    library: RuleLibrary
+    num_windows: int
+    noise_types: Tuple[str, ...] = ()
+
+    @property
+    def num_events(self) -> int:
+        return len(self.events)
+
+    def alarm_types(self) -> List[str]:
+        return sorted({event.alarm_type for event in self.events})
+
+    def to_attributed_graph(self) -> AttributedGraph:
+        """The dynamic attributed graph as a disjoint union of windows.
+
+        Vertex ``(window, device)`` carries the set of alarm types the
+        device raised during the window; edges replicate the topology
+        inside each window.  Windows without alarms are skipped.
+        """
+        by_window: Dict[int, Dict[int, Set[str]]] = {}
+        for event in self.events:
+            by_window.setdefault(event.window, {}).setdefault(
+                event.device, set()
+            ).add(event.alarm_type)
+        graph = AttributedGraph()
+        for window, device_alarms in sorted(by_window.items()):
+            active = sorted(device_alarms)
+            for device in active:
+                vertex = (window, device)
+                graph.add_vertex(vertex)
+                graph.set_attributes(vertex, device_alarms[device])
+            for device in active:
+                for neighbour in self.topology.get(device, ()):
+                    if neighbour in device_alarms:
+                        graph.add_edge((window, device), (window, neighbour))
+        return graph
+
+
+def _random_topology(
+    num_devices: int, avg_degree: float, rng: random.Random
+) -> Dict[int, Set[int]]:
+    adjacency: Dict[int, Set[int]] = {d: set() for d in range(num_devices)}
+    order = list(range(num_devices))
+    rng.shuffle(order)
+    for i in range(1, num_devices):
+        u, v = order[i], order[rng.randrange(i)]
+        adjacency[u].add(v)
+        adjacency[v].add(u)
+    extra = int(num_devices * max(avg_degree - 2.0, 0.0) / 2)
+    for _ in range(extra):
+        u = rng.randrange(num_devices)
+        v = rng.randrange(num_devices)
+        if u != v:
+            adjacency[u].add(v)
+            adjacency[v].add(u)
+    return adjacency
+
+
+def simulate_alarms(
+    library: RuleLibrary,
+    num_devices: int = 200,
+    num_windows: int = 400,
+    causes_per_window: float = 2.0,
+    propagation: float = 0.8,
+    neighbour_fraction: float = 0.6,
+    num_noise_types: int = 30,
+    noise_rate: float = 1.5,
+    derivative_flap_rate: float = 0.0,
+    cascade_probability: float = 0.0,
+    window_split_probability: float = 0.0,
+    avg_degree: float = 4.0,
+    seed: int = 0,
+) -> AlarmSimulation:
+    """Run the alarm simulator.
+
+    Parameters
+    ----------
+    causes_per_window:
+        Expected number of root-cause firings per window.
+    propagation:
+        Probability that each derivative of a fired cause is raised.
+    neighbour_fraction:
+        Probability that a raised derivative lands on a neighbouring
+        device rather than the faulty device itself.
+    num_noise_types / noise_rate:
+        Uncorrelated alarm types and their expected firings per window.
+    derivative_flap_rate:
+        Expected number of *spontaneous* derivative firings per window
+        (alarm flapping).  Real derivative alarms (packet loss, BER
+        spikes...) also trigger without their library cause; this is
+        what separates CSPM's conditional-entropy ranking — conditioned
+        on cause positions, hence robust to a derivative's base rate —
+        from ACOR's per-pair co-occurrence statistics.
+    cascade_probability:
+        Probability that a fired cause triggers a *second*, unrelated
+        cause on a neighbouring device (fault storms).  Cascades create
+        genuine cross-rule correlations that are absent from the rule
+        library, diluting any per-pair ranking.
+    window_split_probability:
+        Probability that a derivative is delayed into the *next*
+        correlation window (fault propagation takes time; fixed window
+        boundaries split cause from effect in real feeds).
+    """
+    if num_devices < 2:
+        raise DatasetError("need at least two devices")
+    if num_windows < 1:
+        raise DatasetError("need at least one window")
+    rng = random.Random(seed)
+    topology = _random_topology(num_devices, avg_degree, rng)
+    noise_types = tuple(f"Noise_{i}" for i in range(num_noise_types))
+    events: List[AlarmEvent] = []
+
+    all_derivatives = [
+        derivative for rule in library.rules for derivative in rule.derivatives
+    ]
+    for window in range(num_windows):
+        window_devices: List[int] = []
+        num_causes = _poisson_like(causes_per_window, rng)
+        firings = []
+        for _ in range(num_causes):
+            firings.append((rng.choice(library.rules), rng.randrange(num_devices)))
+        index = 0
+        while index < len(firings):
+            rule, device = firings[index]
+            index += 1
+            events.append(AlarmEvent(window, device, rule.cause))
+            window_devices.append(device)
+            neighbours = sorted(topology[device])
+            for derivative in rule.derivatives:
+                if rng.random() >= propagation:
+                    continue
+                if neighbours and rng.random() < neighbour_fraction:
+                    target = rng.choice(neighbours)
+                else:
+                    target = device
+                target_window = window
+                if (
+                    rng.random() < window_split_probability
+                    and window + 1 < num_windows
+                ):
+                    target_window = window + 1
+                events.append(AlarmEvent(target_window, target, derivative))
+                if target_window == window:
+                    window_devices.append(target)
+            if neighbours and rng.random() < cascade_probability:
+                # Fault storm: an unrelated cause erupts next door.
+                firings.append((rng.choice(library.rules), rng.choice(neighbours)))
+        num_noise = _poisson_like(noise_rate, rng)
+        for _ in range(num_noise):
+            device = rng.randrange(num_devices)
+            events.append(AlarmEvent(window, device, rng.choice(noise_types)))
+            window_devices.append(device)
+        if derivative_flap_rate > 0:
+            num_flaps = _poisson_like(derivative_flap_rate, rng)
+            for _ in range(num_flaps):
+                # Alarm storms cluster: a flapping derivative tends to
+                # appear next to devices that are already alarming.
+                if window_devices and rng.random() < 0.8:
+                    anchor = rng.choice(window_devices)
+                    candidates = sorted(topology[anchor]) or [anchor]
+                    device = rng.choice(candidates)
+                else:
+                    device = rng.randrange(num_devices)
+                events.append(
+                    AlarmEvent(window, device, rng.choice(all_derivatives))
+                )
+
+    return AlarmSimulation(
+        events=events,
+        topology=topology,
+        library=library,
+        num_windows=num_windows,
+        noise_types=noise_types,
+    )
+
+
+def _poisson_like(mean: float, rng: random.Random) -> int:
+    """A small-mean Poisson sampler (Knuth's method)."""
+    import math
+
+    limit = math.exp(-mean)
+    count = 0
+    product = rng.random()
+    while product > limit:
+        count += 1
+        product *= rng.random()
+    return count

@@ -1,0 +1,102 @@
+"""Star-shaped alarm rule libraries (the AABD analogue).
+
+The paper's ground truth is the rule library of the deployed AABD
+system: 11 rules of the form *cause alarm -> set of derivative alarms*,
+decomposed into 121 pair rules for comparison with ACOR.
+:func:`default_rule_library` builds a synthetic library with exactly
+that shape.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.alarms.types import PairRule
+from repro.errors import DatasetError
+
+
+@dataclass(frozen=True)
+class AlarmRule:
+    """One star-shaped rule: a cause alarm and its derivative alarms."""
+
+    cause: str
+    derivatives: Tuple[str, ...]
+
+    def pair_rules(self) -> List[PairRule]:
+        return [PairRule(self.cause, derivative) for derivative in self.derivatives]
+
+    def __str__(self) -> str:
+        return f"({self.cause}, {{{', '.join(self.derivatives)}}})"
+
+
+@dataclass
+class RuleLibrary:
+    """A set of star rules plus the derived pair-rule ground truth."""
+
+    rules: List[AlarmRule]
+
+    def pair_rules(self) -> List[PairRule]:
+        pairs: List[PairRule] = []
+        for rule in self.rules:
+            pairs.extend(rule.pair_rules())
+        return pairs
+
+    @property
+    def num_pair_rules(self) -> int:
+        return len(self.pair_rules())
+
+    def alarm_types(self) -> List[str]:
+        types = set()
+        for rule in self.rules:
+            types.add(rule.cause)
+            types.update(rule.derivatives)
+        return sorted(types)
+
+
+_CAUSE_NAMES = [
+    "Low_signal", "Link_down", "Power_fail", "Fiber_cut", "Clock_loss",
+    "Board_fault", "Temp_high", "Config_error", "Sync_loss", "Radio_fail",
+    "License_expired",
+]
+
+_DERIVATIVE_STEMS = [
+    "Link_degrader", "Microwave_stripping", "Packet_loss", "BER_exceed",
+    "Service_down", "Path_switch", "LAG_degrade", "Port_down",
+    "Protection_switch", "Latency_high", "Jitter_high", "Frame_loss",
+]
+
+
+def default_rule_library(
+    num_rules: int = 11,
+    total_pairs: int = 121,
+    seed: int = 0,
+) -> RuleLibrary:
+    """A synthetic AABD-style library.
+
+    ``num_rules`` star rules whose derivative counts sum to
+    ``total_pairs`` (the paper: 11 rules -> 121 pair rules).  Every
+    derivative alarm name is unique to its rule so the ground truth is
+    unambiguous.
+    """
+    if num_rules < 1:
+        raise DatasetError("need at least one rule")
+    if total_pairs < num_rules:
+        raise DatasetError("total_pairs must be >= num_rules")
+    rng = random.Random(seed)
+    # Split total_pairs into num_rules positive counts.
+    counts = [1] * num_rules
+    for _ in range(total_pairs - num_rules):
+        counts[rng.randrange(num_rules)] += 1
+    rules = []
+    for index in range(num_rules):
+        cause = _CAUSE_NAMES[index % len(_CAUSE_NAMES)]
+        if index >= len(_CAUSE_NAMES):
+            cause = f"{cause}_{index}"
+        derivatives = tuple(
+            f"{_DERIVATIVE_STEMS[i % len(_DERIVATIVE_STEMS)]}_{index}_{i}"
+            for i in range(counts[index])
+        )
+        rules.append(AlarmRule(cause=cause, derivatives=derivatives))
+    return RuleLibrary(rules=rules)

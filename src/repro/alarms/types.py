@@ -1,0 +1,34 @@
+"""Core alarm datatypes."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class AlarmEvent:
+    """One triggered alarm: which device raised what, in which window.
+
+    Time is discretised into correlation windows (the paper's systems
+    correlate alarms that co-occur within a short window).
+    """
+
+    window: int
+    device: int
+    alarm_type: str
+
+
+@dataclass(frozen=True)
+class PairRule:
+    """A directed pair rule ``cause -> derivative``.
+
+    The AABD library stores star-shaped rules; for comparison with
+    ACOR (which mines pairs) they are decomposed into these pairs
+    (paper, Section VI-D).
+    """
+
+    cause: str
+    derivative: str
+
+    def __str__(self) -> str:
+        return f"{self.cause} -> {self.derivative}"

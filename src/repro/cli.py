@@ -1,0 +1,155 @@
+"""Command-line interface for the reproduction.
+
+Subcommands::
+
+    python -m repro.cli mine <graph.json>        # mine + print a-stars
+    python -m repro.cli stats <graph.json>       # Table II style stats
+    python -m repro.cli datasets                 # list dataset analogues
+    python -m repro.cli generate <name> out.json # write an analogue
+    python -m repro.cli alarms                   # Fig. 8 style comparison
+
+Graphs are exchanged in the JSON format of :mod:`repro.graphs.io`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.core.miner import CSPM
+from repro.datasets import available_datasets, load_dataset
+from repro.graphs.io import load_json, save_json
+from repro.graphs.stats import graph_stats
+
+
+def _add_mine(subparsers) -> None:
+    parser = subparsers.add_parser("mine", help="mine a-stars from a graph")
+    parser.add_argument("graph", help="path to a graph JSON file")
+    parser.add_argument("--method", choices=("partial", "basic"), default="partial")
+    parser.add_argument(
+        "--encoder",
+        choices=("singleton", "slim", "krimp"),
+        default="singleton",
+        help="coreset encoder (Section IV-F)",
+    )
+    parser.add_argument("--top", type=int, default=20, help="patterns to print")
+    parser.add_argument(
+        "--min-leafset", type=int, default=1, help="minimum leafset size"
+    )
+
+
+def _add_stats(subparsers) -> None:
+    parser = subparsers.add_parser("stats", help="print graph statistics")
+    parser.add_argument("graph", help="path to a graph JSON file")
+
+
+def _add_datasets(subparsers) -> None:
+    subparsers.add_parser("datasets", help="list dataset analogues")
+
+
+def _add_generate(subparsers) -> None:
+    parser = subparsers.add_parser("generate", help="write a dataset analogue")
+    parser.add_argument("name", help="dataset name (see `datasets`)")
+    parser.add_argument("output", help="output JSON path")
+    parser.add_argument("--scale", type=float, default=None)
+    parser.add_argument("--seed", type=int, default=0)
+
+
+def _add_alarms(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "alarms", help="run the alarm-correlation comparison (Fig. 8)"
+    )
+    parser.add_argument("--devices", type=int, default=80)
+    parser.add_argument("--windows", type=int, default=150)
+    parser.add_argument("--seed", type=int, default=1)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="CSPM: representative attribute-stars via MDL (ICDE 2022)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+    _add_mine(subparsers)
+    _add_stats(subparsers)
+    _add_datasets(subparsers)
+    _add_generate(subparsers)
+    _add_alarms(subparsers)
+    return parser
+
+
+def _command_mine(args) -> int:
+    graph = load_json(args.graph)
+    result = CSPM(method=args.method, coreset_encoder=args.encoder).fit(graph)
+    print(result.summary())
+    for star in result.filter(min_leafset_size=args.min_leafset)[: args.top]:
+        print(f"  {star}")
+    return 0
+
+
+def _command_stats(args) -> int:
+    graph = load_json(args.graph)
+    print(graph_stats(graph).as_row())
+    return 0
+
+
+def _command_datasets(_args) -> int:
+    for name in available_datasets():
+        print(name)
+    return 0
+
+
+def _command_generate(args) -> int:
+    graph = load_dataset(args.name, scale=args.scale, seed=args.seed)
+    save_json(graph, args.output)
+    print(f"wrote {graph} to {args.output}")
+    return 0
+
+
+def _command_alarms(args) -> int:
+    from repro.alarms import (
+        acor_rank_pairs,
+        coverage_curve,
+        cspm_rank_pairs,
+        default_rule_library,
+        simulate_alarms,
+    )
+
+    library = default_rule_library(seed=0)
+    simulation = simulate_alarms(
+        library,
+        num_devices=args.devices,
+        num_windows=args.windows,
+        causes_per_window=2.5,
+        derivative_flap_rate=2.0,
+        cascade_probability=0.4,
+        window_split_probability=0.5,
+        seed=args.seed,
+    )
+    top_ks = [50, 100, 250, 500, 1000, 2000]
+    truth = library.pair_rules()
+    cspm_curve = coverage_curve(cspm_rank_pairs(simulation), truth, top_ks)
+    acor_curve = coverage_curve(acor_rank_pairs(simulation), truth, top_ks)
+    print("top-K :" + "".join(f"{k:>7}" for k in top_ks))
+    print("CSPM  :" + "".join(f"{v:>7.2f}" for v in cspm_curve))
+    print("ACOR  :" + "".join(f"{v:>7.2f}" for v in acor_curve))
+    return 0
+
+
+_COMMANDS = {
+    "mine": _command_mine,
+    "stats": _command_stats,
+    "datasets": _command_datasets,
+    "generate": _command_generate,
+    "alarms": _command_alarms,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

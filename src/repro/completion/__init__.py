@@ -1,0 +1,21 @@
+"""Node attribute completion (paper, Section VI-C / Table IV).
+
+Pipeline: hide the attributes of a test fraction of nodes, train a
+completion model on the rest, optionally fuse the model's probability
+matrix with CSPM's a-star scores (Fig. 7), and evaluate Recall@K and
+NDCG@K on the hidden nodes.
+"""
+
+from repro.completion.fusion import cspm_score_matrix, fuse_scores, normalize_scores
+from repro.completion.metrics import ndcg_at_k, recall_at_k
+from repro.completion.task import CompletionData, make_completion_data
+
+__all__ = [
+    "CompletionData",
+    "cspm_score_matrix",
+    "fuse_scores",
+    "make_completion_data",
+    "ndcg_at_k",
+    "normalize_scores",
+    "recall_at_k",
+]

@@ -1,0 +1,88 @@
+"""Ranking metrics for attribute completion: Recall@K and NDCG@K.
+
+Both follow the SAT-paper evaluation the Table IV experiment adopts:
+for each attribute-missing node the model ranks all attribute values;
+the top-K ranked values are compared against the node's true set.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ModelError
+
+
+def _top_k_indices(scores: np.ndarray, k: int) -> np.ndarray:
+    """Indices of the k largest scores, ties broken by index."""
+    k = min(k, scores.shape[-1])
+    order = np.argsort(-scores, axis=-1, kind="stable")
+    return order[..., :k]
+
+
+def recall_at_k(scores: np.ndarray, targets: np.ndarray, k: int) -> float:
+    """Mean over rows of ``|top-K hits| / |true values|``.
+
+    Rows without any true value are skipped.
+    """
+    scores, targets = _validate(scores, targets, k)
+    top = _top_k_indices(scores, k)
+    recalls = []
+    for row in range(scores.shape[0]):
+        truth = targets[row] > 0
+        total = truth.sum()
+        if total == 0:
+            continue
+        hits = truth[top[row]].sum()
+        recalls.append(hits / total)
+    if not recalls:
+        raise ModelError("no row has a non-empty target set")
+    return float(np.mean(recalls))
+
+
+def ndcg_at_k(scores: np.ndarray, targets: np.ndarray, k: int) -> float:
+    """Mean NDCG@K with binary relevance.
+
+    ``DCG = sum_i rel_i / log2(i + 2)`` over the top-K ranking,
+    normalised by the ideal DCG of the row's true-value count.
+    """
+    scores, targets = _validate(scores, targets, k)
+    top = _top_k_indices(scores, k)
+    discounts = 1.0 / np.log2(np.arange(k) + 2.0)
+    ndcgs = []
+    for row in range(scores.shape[0]):
+        truth = targets[row] > 0
+        total = int(truth.sum())
+        if total == 0:
+            continue
+        gains = truth[top[row]].astype(float)
+        dcg = float((gains * discounts[: len(gains)]).sum())
+        ideal = float(discounts[: min(total, k)].sum())
+        ndcgs.append(dcg / ideal)
+    if not ndcgs:
+        raise ModelError("no row has a non-empty target set")
+    return float(np.mean(ndcgs))
+
+
+def _validate(scores: np.ndarray, targets: np.ndarray, k: int):
+    scores = np.asarray(scores, dtype=float)
+    targets = np.asarray(targets)
+    if scores.shape != targets.shape:
+        raise ModelError("scores and targets must have the same shape")
+    if scores.ndim != 2:
+        raise ModelError("scores must be (num_rows, num_values)")
+    if k < 1:
+        raise ModelError("k must be >= 1")
+    return scores, targets
+
+
+def evaluate_all(
+    scores: np.ndarray, targets: np.ndarray, ks: Sequence[int]
+) -> dict:
+    """``{"Recall@k": ..., "NDCG@k": ...}`` for every k."""
+    metrics = {}
+    for k in ks:
+        metrics[f"Recall@{k}"] = recall_at_k(scores, targets, k)
+        metrics[f"NDCG@{k}"] = ndcg_at_k(scores, targets, k)
+    return metrics

@@ -1,0 +1,119 @@
+"""The attribute-missing completion task setup.
+
+Follows the protocol of the SAT paper the evaluation section adopts:
+a fraction of nodes becomes *attribute-missing* (their whole attribute
+vector is hidden); models observe the graph structure plus the
+attribute vectors of the remaining nodes and must rank the hidden
+values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable, List
+
+import numpy as np
+
+from repro.errors import DatasetError
+from repro.graphs.attributed_graph import AttributedGraph
+
+Value = Hashable
+Vertex = Hashable
+
+
+@dataclass
+class CompletionData:
+    """Dense matrices + masks for one completion split.
+
+    ``features`` equals ``targets`` on train rows and is all-zero on
+    test rows; ``observed_graph`` is the attributed graph with test
+    attributes removed (what CSPM is allowed to mine).
+    """
+
+    adjacency: np.ndarray
+    features: np.ndarray
+    targets: np.ndarray
+    train_mask: np.ndarray
+    test_mask: np.ndarray
+    vertex_order: List[Vertex]
+    value_order: List[Value]
+    observed_graph: AttributedGraph = field(repr=False)
+
+    @property
+    def num_nodes(self) -> int:
+        return self.adjacency.shape[0]
+
+    @property
+    def num_values(self) -> int:
+        return len(self.value_order)
+
+    def test_rows(self) -> np.ndarray:
+        return np.where(self.test_mask)[0]
+
+
+def make_completion_data(
+    graph: AttributedGraph,
+    test_fraction: float = 0.4,
+    seed: int = 0,
+    min_attributes: int = 1,
+) -> CompletionData:
+    """Split ``graph`` into an attribute-missing completion instance.
+
+    Only vertices with at least ``min_attributes`` values are eligible
+    for the test set (a node with nothing to predict is useless for
+    evaluation).
+    """
+    if not 0.0 < test_fraction < 1.0:
+        raise DatasetError("test_fraction must be in (0, 1)")
+    vertex_order = sorted(graph.vertices(), key=repr)
+    value_order = sorted(graph.attribute_values(), key=repr)
+    if not value_order:
+        raise DatasetError("graph has no attribute values")
+    vertex_index = {v: i for i, v in enumerate(vertex_order)}
+    value_index = {a: i for i, a in enumerate(value_order)}
+    n, d = len(vertex_order), len(value_order)
+
+    adjacency = np.zeros((n, n))
+    for u, v in graph.edges():
+        adjacency[vertex_index[u], vertex_index[v]] = 1.0
+        adjacency[vertex_index[v], vertex_index[u]] = 1.0
+
+    targets = np.zeros((n, d))
+    for vertex in vertex_order:
+        row = vertex_index[vertex]
+        for value in graph.attributes_of(vertex):
+            targets[row, value_index[value]] = 1.0
+
+    rng = np.random.default_rng(seed)
+    eligible = [
+        i
+        for i, vertex in enumerate(vertex_order)
+        if len(graph.attributes_of(vertex)) >= min_attributes
+    ]
+    if not eligible:
+        raise DatasetError("no vertex has enough attributes to hide")
+    num_test = max(1, int(round(test_fraction * len(eligible))))
+    if num_test >= len(eligible):
+        raise DatasetError("test_fraction leaves no training vertices")
+    test_rows = rng.choice(eligible, size=num_test, replace=False)
+    test_mask = np.zeros(n, dtype=bool)
+    test_mask[test_rows] = True
+    train_mask = ~test_mask
+
+    features = targets.copy()
+    features[test_mask] = 0.0
+
+    observed_graph = graph.copy()
+    for row in test_rows:
+        observed_graph.set_attributes(vertex_order[row], ())
+
+    return CompletionData(
+        adjacency=adjacency,
+        features=features,
+        targets=targets,
+        train_mask=train_mask,
+        test_mask=test_mask,
+        vertex_order=vertex_order,
+        value_order=value_order,
+        observed_graph=observed_graph,
+    )

@@ -1,0 +1,27 @@
+"""CSPM core: inverted database, MDL accounting, and the two search
+procedures (CSPM-Basic, Algorithm 1-2; CSPM-Partial, Algorithm 3-4).
+
+The public entry point is :class:`repro.core.miner.CSPM`; the other
+modules expose the machinery for tests, ablations and instrumentation.
+"""
+
+from repro.core.astar import AStar
+from repro.core.code_table import CoreCodeTable, StandardCodeTable
+from repro.core.inverted_db import InvertedDatabase, MergeOutcome
+from repro.core.mdl import DescriptionLength, conditional_entropy, description_length
+from repro.core.miner import CSPM, CSPMResult
+from repro.core.scoring import AStarScorer
+
+__all__ = [
+    "AStar",
+    "AStarScorer",
+    "CSPM",
+    "CSPMResult",
+    "CoreCodeTable",
+    "DescriptionLength",
+    "InvertedDatabase",
+    "MergeOutcome",
+    "StandardCodeTable",
+    "conditional_entropy",
+    "description_length",
+]

@@ -1,0 +1,102 @@
+"""The attribute-star (a-star) pattern type.
+
+An a-star ``S = (Sc, SL)`` (paper, Section IV-A) consists of a *coreset*
+``Sc`` of attribute values expected on a core vertex, and a *leafset*
+``SL`` of values expected to appear on (any of) its direct neighbours.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, Hashable, Iterable, Tuple
+
+from repro.graphs.attributed_graph import AttributedGraph
+
+Value = Hashable
+
+
+def _sorted_values(values: Iterable[Value]) -> Tuple[Value, ...]:
+    return tuple(sorted(values, key=repr))
+
+
+@dataclass(frozen=True)
+class AStar:
+    """An attribute-star with its MDL bookkeeping.
+
+    Attributes
+    ----------
+    coreset / leafset:
+        The core values ``Sc`` and leaf values ``SL``.
+    frequency:
+        ``fL`` — the number of core positions covered by this pattern in
+        the final inverted database.
+    coreset_frequency:
+        ``fc`` — the total frequency of the coreset across the inverted
+        database at termination.
+    code_length:
+        ``L(Code_c) + L(Code_L)`` in bits (Eq. 4).  Shorter codes mean
+        more informative patterns; results are ranked ascending.
+    """
+
+    coreset: FrozenSet[Value]
+    leafset: FrozenSet[Value]
+    frequency: int = 0
+    coreset_frequency: int = 0
+    code_length: float = field(default=0.0, compare=False)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "coreset", frozenset(self.coreset))
+        object.__setattr__(self, "leafset", frozenset(self.leafset))
+
+    # ------------------------------------------------------------------
+    # Semantics
+    # ------------------------------------------------------------------
+
+    def matches_at(self, graph: AttributedGraph, vertex) -> bool:
+        """Whether this a-star matches the star rooted at ``vertex``.
+
+        Following the paper's matching definition: every core value must
+        appear on the core vertex, and every leaf value on at least one
+        of its neighbours.
+        """
+        if not self.coreset <= graph.attributes_of(vertex):
+            return False
+        remaining = set(self.leafset)
+        for neighbour in graph.neighbors(vertex):
+            remaining -= graph.attributes_of(neighbour)
+            if not remaining:
+                return True
+        return not remaining
+
+    def occurrences(self, graph: AttributedGraph) -> FrozenSet:
+        """All vertices whose star this a-star matches."""
+        return frozenset(
+            vertex for vertex in graph.vertices() if self.matches_at(graph, vertex)
+        )
+
+    # ------------------------------------------------------------------
+    # Presentation
+    # ------------------------------------------------------------------
+
+    @property
+    def confidence(self) -> float:
+        """``fL / fc`` — the conditional usage ratio behind Eq. 6."""
+        if self.coreset_frequency <= 0:
+            return 0.0
+        return self.frequency / self.coreset_frequency
+
+    def __str__(self) -> str:
+        core = "{" + ", ".join(map(str, _sorted_values(self.coreset))) + "}"
+        leaf = "{" + ", ".join(map(str, _sorted_values(self.leafset))) + "}"
+        return (
+            f"({core} -> {leaf})  fL={self.frequency} fc={self.coreset_frequency} "
+            f"L={self.code_length:.3f} bits"
+        )
+
+    def sort_key(self) -> Tuple:
+        """Deterministic ordering: code length, then lexicographic sets."""
+        return (
+            self.code_length,
+            _sorted_values(self.coreset),
+            _sorted_values(self.leafset),
+        )

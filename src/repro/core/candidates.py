@@ -1,0 +1,107 @@
+"""Candidate pairs of leafsets and the priority queue over their gains.
+
+A *candidate* is an unordered pair of leafsets with a positive merge
+gain (Algorithm 2).  :class:`CandidateQueue` keeps candidates ordered
+by descending gain with deterministic tie-breaking, supporting the
+update/discard operations needed by CSPM-Partial (Algorithm 4).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from functools import lru_cache
+from typing import Dict, FrozenSet, Hashable, Iterable, Iterator, List, Optional, Tuple
+
+LeafKey = FrozenSet[Hashable]
+Pair = Tuple[LeafKey, LeafKey]
+
+
+@lru_cache(maxsize=None)
+def leafset_sort_key(leaf: LeafKey) -> Tuple[str, ...]:
+    """Deterministic, hash-independent ordering key for a leafset.
+
+    Cached: the same (immutable) leafsets are compared many times
+    during candidate maintenance.
+    """
+    return tuple(sorted(map(repr, leaf)))
+
+
+def canonical_pair(leaf_x: LeafKey, leaf_y: LeafKey) -> Pair:
+    """The unordered pair in canonical (sorted) order."""
+    if leafset_sort_key(leaf_x) <= leafset_sort_key(leaf_y):
+        return (leaf_x, leaf_y)
+    return (leaf_y, leaf_x)
+
+
+def pair_sort_key(pair: Pair) -> Tuple:
+    return (leafset_sort_key(pair[0]), leafset_sort_key(pair[1]))
+
+
+def enumerate_pairs(leafsets: Iterable[LeafKey]) -> Iterator[Pair]:
+    """All unordered pairs, in deterministic order (Alg. 2, line 2)."""
+    ordered = sorted(leafsets, key=leafset_sort_key)
+    for leaf_x, leaf_y in itertools.combinations(ordered, 2):
+        yield (leaf_x, leaf_y)
+
+
+class CandidateQueue:
+    """Max-gain priority queue with lazy deletion.
+
+    Entries are ``(-gain, tiebreak, version, pair)`` in a binary heap;
+    a side table maps each pair to its current gain and version so
+    stale heap entries are skipped on pop.
+    """
+
+    def __init__(self) -> None:
+        self._heap: List[Tuple[float, Tuple, int, Pair]] = []
+        self._current: Dict[Pair, Tuple[float, int]] = {}
+        self._version = 0
+
+    def __len__(self) -> int:
+        return len(self._current)
+
+    def __contains__(self, pair: Pair) -> bool:
+        return pair in self._current
+
+    def gain_of(self, pair: Pair) -> Optional[float]:
+        entry = self._current.get(pair)
+        return entry[0] if entry else None
+
+    def pairs(self) -> List[Pair]:
+        return list(self._current)
+
+    def set(self, pair: Pair, gain: float) -> None:
+        """Insert ``pair`` or update its gain."""
+        self._version += 1
+        self._current[pair] = (gain, self._version)
+        heapq.heappush(self._heap, (-gain, pair_sort_key(pair), self._version, pair))
+
+    def discard(self, pair: Pair) -> None:
+        """Remove ``pair`` if present (lazy: heap entry becomes stale)."""
+        self._current.pop(pair, None)
+
+    def peek(self) -> Optional[Tuple[Pair, float]]:
+        """The best live candidate without removing it."""
+        self._drop_stale()
+        if not self._heap:
+            return None
+        neg_gain, _key, _version, pair = self._heap[0]
+        return pair, -neg_gain
+
+    def pop(self) -> Optional[Tuple[Pair, float]]:
+        """Remove and return the best live candidate, or ``None``."""
+        self._drop_stale()
+        if not self._heap:
+            return None
+        neg_gain, _key, _version, pair = heapq.heappop(self._heap)
+        del self._current[pair]
+        return pair, -neg_gain
+
+    def _drop_stale(self) -> None:
+        while self._heap:
+            neg_gain, _key, version, pair = self._heap[0]
+            entry = self._current.get(pair)
+            if entry is not None and entry[1] == version:
+                return
+            heapq.heappop(self._heap)

@@ -1,0 +1,139 @@
+"""Code tables: the standard code table ST and the coreset table CTc.
+
+Following Krimp's framework (paper, Section III and IV-C):
+
+* the **standard code table** ``ST`` assigns every attribute value an
+  optimal Shannon code from its global frequency in the mapping
+  function, ``L(v) = -log2 P(v)`` (Eq. 5).  ST prices the *content* of
+  patterns stored in the model;
+* the **coreset code table** ``CTc`` assigns each coreset a code from
+  its usage.  For singleton coresets CTc coincides with ST (paper,
+  Section IV-C); a multi-value coreset encoder supplies its own usages.
+
+The leafset table ``CTL`` is not materialised separately: its rows are
+exactly the live rows of the inverted database and their conditional
+code lengths ``-log2(fL / fc)`` (Eq. 6) are derived on demand by
+:mod:`repro.core.mdl`.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, FrozenSet, Hashable, Iterable, Mapping
+
+from repro.errors import EncodingError
+from repro.graphs.attributed_graph import AttributedGraph
+
+Value = Hashable
+CoreKey = FrozenSet[Value]
+
+
+class StandardCodeTable:
+    """Optimal per-value Shannon codes from global value frequencies."""
+
+    def __init__(self, frequencies: Mapping[Value, int]) -> None:
+        self._lengths: Dict[Value, float] = {}
+        total = sum(frequencies.values())
+        if total <= 0:
+            raise EncodingError("cannot build a code table from empty data")
+        for value, count in frequencies.items():
+            if count <= 0:
+                raise EncodingError(f"non-positive frequency for {value!r}")
+            self._lengths[value] = -math.log2(count / total)
+        self._total = total
+
+    @classmethod
+    def from_graph(cls, graph: AttributedGraph) -> "StandardCodeTable":
+        """ST over the graph's vertex->value mapping function."""
+        frequencies = graph.value_frequencies()
+        if not frequencies:
+            raise EncodingError("graph has no attribute values")
+        return cls(frequencies)
+
+    @property
+    def total_occurrences(self) -> int:
+        return self._total
+
+    def __contains__(self, value: Value) -> bool:
+        return value in self._lengths
+
+    def __len__(self) -> int:
+        return len(self._lengths)
+
+    def code_length(self, value: Value) -> float:
+        """``L(v) = -log2 P(v)`` in bits (Eq. 5)."""
+        try:
+            return self._lengths[value]
+        except KeyError:
+            raise EncodingError(f"value {value!r} is not in the code table") from None
+
+    def set_cost(self, values: Iterable[Value]) -> float:
+        """Cost in bits of materialising ``values`` in a code table."""
+        return sum(self.code_length(value) for value in values)
+
+    def lengths(self) -> Dict[Value, float]:
+        """A copy of the value -> code length mapping."""
+        return dict(self._lengths)
+
+
+class CoreCodeTable:
+    """Coreset codes ``Code_c`` from coreset usage (Eq. 5 applied to Sc).
+
+    ``usage`` counts how often each coreset occurs in the graph: for a
+    singleton coreset this is the mapping-table frequency of its value;
+    for multi-value coresets it is the cover usage reported by the
+    itemset encoder (Section IV-F, step 1).
+    """
+
+    def __init__(self, usage: Mapping[CoreKey, int]) -> None:
+        if not usage:
+            raise EncodingError("coreset usage must be non-empty")
+        self._usage: Dict[CoreKey, int] = {}
+        total = 0
+        for coreset, count in usage.items():
+            if count <= 0:
+                raise EncodingError(f"non-positive usage for coreset {set(coreset)}")
+            key = frozenset(coreset)
+            self._usage[key] = self._usage.get(key, 0) + count
+            total += count
+        self._total = total
+        self._lengths = {
+            coreset: -math.log2(count / total)
+            for coreset, count in self._usage.items()
+        }
+
+    @classmethod
+    def singletons_from_graph(cls, graph: AttributedGraph) -> "CoreCodeTable":
+        """The singleton-coreset table: CTc == ST (paper, Section IV-C)."""
+        return cls(
+            {
+                frozenset([value]): count
+                for value, count in graph.value_frequencies().items()
+            }
+        )
+
+    @property
+    def total_usage(self) -> int:
+        return self._total
+
+    def __contains__(self, coreset: CoreKey) -> bool:
+        return frozenset(coreset) in self._lengths
+
+    def __len__(self) -> int:
+        return len(self._lengths)
+
+    def coresets(self) -> Iterable[CoreKey]:
+        return self._lengths.keys()
+
+    def usage(self, coreset: CoreKey) -> int:
+        try:
+            return self._usage[frozenset(coreset)]
+        except KeyError:
+            raise EncodingError(f"unknown coreset {set(coreset)}") from None
+
+    def code_length(self, coreset: CoreKey) -> float:
+        """``L(Code_c(Sc))`` in bits."""
+        try:
+            return self._lengths[frozenset(coreset)]
+        except KeyError:
+            raise EncodingError(f"unknown coreset {set(coreset)}") from None

@@ -1,0 +1,280 @@
+"""CSPM-Partial: the partial-update optimisation (Algorithm 3 + 4).
+
+Rather than re-enumerating every leafset pair after each merge,
+CSPM-Partial maintains a priority queue of positive-gain candidates
+and, after a merge, refreshes only the pairs the merge could have
+affected.  Two update scopes are provided:
+
+``related`` (the paper's Algorithm 4, literally)
+    ``rdict`` maps each leafset to the leafsets it currently forms a
+    candidate with.  After merging ``p = (x, y)``: totally merged
+    leafsets are dropped, the new leafset is evaluated only against
+    ``rdict[x] & rdict[y]``, and pairs involving the partly merged
+    survivors are re-evaluated.  This is the cheapest variant but can
+    miss pairs whose gain *rises* after a merge (a pair involving a
+    survivor that was not a candidate before), so its final model may
+    differ slightly from CSPM-Basic's.
+
+``exhaustive`` (default used by the facade)
+    After a merge, the survivors and the new leafset are re-evaluated
+    against *all* leafsets sharing a coreset with them (only such pairs
+    can ever gain — the Section V observation), plus the pairs whose
+    union equals the new leafset (their model cost just dropped).  This
+    provably keeps the queue a superset of all positive-gain pairs, so
+    the search selects exactly the same merges as CSPM-Basic while
+    still touching only an affected neighbourhood per iteration.
+
+Both scopes revalidate lazily on pop: merges elsewhere can only lower
+a stored gain (the coreset frequency ``fe`` shrinks), so the fresh gain
+is recomputed and the pair is either merged, pushed back, or dropped.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Hashable, Optional, Set
+
+from repro.core.candidates import (
+    CandidateQueue,
+    canonical_pair,
+    enumerate_pairs,
+    leafset_sort_key,
+)
+from repro.core.code_table import CoreCodeTable, StandardCodeTable
+from repro.core.gain import GainEngine
+from repro.core.instrumentation import IterationTrace, RunTrace
+from repro.core.inverted_db import InvertedDatabase, MergeOutcome
+from repro.core.mdl import description_length
+from repro.errors import MiningError
+
+LeafKey = FrozenSet[Hashable]
+GAIN_EPS = 1e-9
+UPDATE_SCOPES = ("exhaustive", "related")
+
+
+class _PartialState:
+    """Queue + rdict bookkeeping shared by the update steps."""
+
+    def __init__(self) -> None:
+        self.queue = CandidateQueue()
+        self.rdict: Dict[LeafKey, Set[LeafKey]] = {}
+
+    def add_candidate(self, leaf_x: LeafKey, leaf_y: LeafKey, gain: float) -> None:
+        self.queue.set(canonical_pair(leaf_x, leaf_y), gain)
+        self.rdict.setdefault(leaf_x, set()).add(leaf_y)
+        self.rdict.setdefault(leaf_y, set()).add(leaf_x)
+
+    def drop_candidate(self, leaf_x: LeafKey, leaf_y: LeafKey) -> None:
+        self.queue.discard(canonical_pair(leaf_x, leaf_y))
+        self.unlink(leaf_x, leaf_y)
+        self.unlink(leaf_y, leaf_x)
+
+    def drop_leafset(self, leaf: LeafKey) -> None:
+        """Remove every candidate involving ``leaf`` (Alg. 4, step 1)."""
+        for rel in self.rdict.pop(leaf, set()):
+            self.queue.discard(canonical_pair(leaf, rel))
+            self.unlink(rel, leaf)
+
+    def related(self, leaf: LeafKey) -> Set[LeafKey]:
+        return set(self.rdict.get(leaf, ()))
+
+    def unlink(self, leaf: LeafKey, rel: LeafKey) -> None:
+        bucket = self.rdict.get(leaf)
+        if bucket is not None:
+            bucket.discard(rel)
+            if not bucket:
+                del self.rdict[leaf]
+
+
+def run_partial(
+    db: InvertedDatabase,
+    standard_table: StandardCodeTable,
+    core_table: CoreCodeTable,
+    include_model_cost: bool = True,
+    max_iterations: Optional[int] = None,
+    update_scope: str = "exhaustive",
+) -> RunTrace:
+    """Run CSPM-Partial to convergence, mutating ``db`` in place."""
+    if update_scope not in UPDATE_SCOPES:
+        raise MiningError(
+            f"update_scope must be one of {UPDATE_SCOPES}, got {update_scope!r}"
+        )
+    trace = RunTrace(algorithm=f"cspm-partial/{update_scope}")
+    dl = description_length(db, standard_table, core_table).total_bits
+    trace.initial_dl_bits = dl
+    engine = GainEngine(db, standard_table, core_table)
+
+    def net_gain(leaf_x: LeafKey, leaf_y: LeafKey):
+        breakdown = engine.gain(leaf_x, leaf_y)
+        return breakdown, breakdown.net(include_model_cost)
+
+    state = _PartialState()
+    initial_gains = 0
+    for leaf_x, leaf_y in enumerate_pairs(db.leafsets()):
+        _breakdown, gain = net_gain(leaf_x, leaf_y)
+        initial_gains += 1
+        if gain > GAIN_EPS:
+            state.add_candidate(leaf_x, leaf_y, gain)
+    trace.initial_candidate_gains = initial_gains
+
+    iteration = 0
+    pending_gains = 0
+    while max_iterations is None or iteration < max_iterations:
+        popped = state.queue.pop()
+        if popped is None:
+            break
+        (leaf_x, leaf_y), _stored_gain = popped
+        breakdown, gain = net_gain(leaf_x, leaf_y)
+        pending_gains += 1
+        if gain <= GAIN_EPS:
+            state.drop_candidate(leaf_x, leaf_y)
+            continue
+        next_best = state.queue.peek()
+        if next_best is not None and gain < next_best[1] - GAIN_EPS:
+            state.queue.set(canonical_pair(leaf_x, leaf_y), gain)
+            continue
+
+        num_leafsets = len(db.leafsets())
+        possible = num_leafsets * (num_leafsets - 1) // 2
+        related_x = state.related(leaf_x)
+        related_y = state.related(leaf_y)
+        outcome = db.merge(leaf_x, leaf_y)
+        dl -= breakdown.total
+        iteration += 1
+        state.unlink(leaf_x, leaf_y)
+        state.unlink(leaf_y, leaf_x)
+
+        gains_computed = pending_gains
+        pending_gains = 0
+        for leaf in outcome.removed_leafsets:
+            state.drop_leafset(leaf)
+        if update_scope == "related":
+            gains_computed += _update_related(
+                db, state, outcome, related_x, related_y, net_gain
+            )
+        else:
+            gains_computed += _update_exhaustive(db, state, outcome, net_gain)
+
+        trace.iterations.append(
+            IterationTrace(
+                iteration=iteration,
+                gains_computed=gains_computed,
+                possible_pairs=possible,
+                num_leafsets=num_leafsets,
+                merged_pair=(
+                    tuple(sorted(map(repr, leaf_x))),
+                    tuple(sorted(map(repr, leaf_y))),
+                ),
+                gain=gain,
+                total_dl_bits=dl,
+            )
+        )
+    trace.final_dl_bits = dl
+    return trace
+
+
+def _update_related(
+    db: InvertedDatabase,
+    state: _PartialState,
+    outcome: MergeOutcome,
+    related_x: Set[LeafKey],
+    related_y: Set[LeafKey],
+    net_gain,
+) -> int:
+    """Algorithm 4 literally: rdict-scoped updates.  Returns #gains."""
+    gains = 0
+    new_leaf = outcome.new_leafset
+    # (2) Add pairs with the new leafset, scoped to rdict[x] & rdict[y].
+    if db.has_leafset(new_leaf):
+        for rel in sorted(related_x & related_y, key=leafset_sort_key):
+            if rel == new_leaf or not db.has_leafset(rel):
+                continue
+            _breakdown, gain = net_gain(rel, new_leaf)
+            gains += 1
+            if gain > GAIN_EPS:
+                state.add_candidate(rel, new_leaf, gain)
+    # (3) Update influenced pairs of the partly merged survivors.
+    refreshed = set()
+    for leaf in sorted(outcome.partly_merged_leafsets, key=leafset_sort_key):
+        for rel in sorted(state.related(leaf), key=leafset_sort_key):
+            pair = canonical_pair(leaf, rel)
+            if pair in refreshed:
+                continue
+            refreshed.add(pair)
+            _breakdown, gain = net_gain(leaf, rel)
+            gains += 1
+            if gain > GAIN_EPS:
+                state.queue.set(pair, gain)
+            else:
+                state.drop_candidate(leaf, rel)
+    return gains
+
+
+def _update_exhaustive(
+    db: InvertedDatabase,
+    state: _PartialState,
+    outcome: MergeOutcome,
+    net_gain,
+) -> int:
+    """Re-evaluate every pair the merge could have improved.
+
+    A pair's gain changed only if the merge touched a coreset common
+    to the pair: the merged rows shrank (pairs involving the two
+    survivors), a new row appeared (pairs involving the new leafset),
+    or only ``fe`` shrank — which can only *lower* a gain and is
+    handled by lazy revalidation on pop.  So it suffices to re-evaluate
+    the survivors and the new leafset against the leafsets present
+    under the touched coresets, plus pairs whose union equals the new
+    leafset (their model cost just dropped).  Returns the number of
+    gain computations.
+    """
+    gains = 0
+    new_leaf = outcome.new_leafset
+    focus = set(outcome.partly_merged_leafsets)
+    if db.has_leafset(new_leaf):
+        focus.add(new_leaf)
+    rel_pool: set = set()
+    for core in outcome.touched_coresets:
+        rel_pool |= db.leafsets_of(core)
+    rel_ordered = sorted(rel_pool, key=leafset_sort_key)
+    refreshed = set()
+    for leaf in sorted(focus, key=leafset_sort_key):
+        if not db.has_leafset(leaf):
+            continue
+        for rel in rel_ordered:
+            if rel == leaf or not db.has_leafset(rel):
+                continue
+            pair = canonical_pair(leaf, rel)
+            if pair in refreshed:
+                continue
+            refreshed.add(pair)
+            _breakdown, gain = net_gain(leaf, rel)
+            gains += 1
+            if gain > GAIN_EPS:
+                state.add_candidate(leaf, rel, gain)
+            elif pair in state.queue:
+                state.drop_candidate(leaf, rel)
+    # Pairs of strict subsets whose union is exactly the new leafset:
+    # the union's code-table entry now exists, so their model cost
+    # dropped and their gain may have turned positive.
+    if db.has_leafset(new_leaf):
+        subsets = [
+            leaf
+            for leaf in db.leafsets()
+            if leaf < new_leaf and leaf not in focus
+        ]
+        subsets.sort(key=leafset_sort_key)
+        for i, leaf in enumerate(subsets):
+            for rel in subsets[i + 1 :]:
+                if (leaf | rel) != new_leaf:
+                    continue
+                pair = canonical_pair(leaf, rel)
+                if pair in refreshed:
+                    continue
+                refreshed.add(pair)
+                _breakdown, gain = net_gain(leaf, rel)
+                gains += 1
+                if gain > GAIN_EPS:
+                    state.add_candidate(leaf, rel, gain)
+                else:
+                    state.drop_candidate(leaf, rel)
+    return gains

@@ -1,0 +1,155 @@
+"""A-star features for graph-level learning (paper, future work 1).
+
+The paper's conclusion proposes using mined a-stars for "other
+graph-related learning problems such as graph classification".  This
+module implements the straightforward realisation: a shared a-star
+vocabulary is mined from (a sample of) the training graphs, and each
+graph is embedded as a vector of pattern signals — occurrence counts
+weighted by pattern informativeness (inverse code length).
+
+The resulting fixed-width vectors feed any standard classifier; tests
+and the benchmarks use them with a tiny logistic-regression head on the
+numpy substrate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.astar import AStar
+from repro.core.dynamic import disjoint_union
+from repro.core.miner import CSPM
+from repro.errors import MiningError
+from repro.graphs.attributed_graph import AttributedGraph
+
+
+@dataclass
+class AStarFeaturizer:
+    """Embeds attributed graphs over a mined a-star vocabulary.
+
+    Parameters
+    ----------
+    vocabulary_size:
+        Number of top-ranked a-stars kept as feature dimensions.
+    weight_by_code_length:
+        Scale each occurrence count by ``1 / (1 + L(S))`` so that more
+        informative (shorter-code) patterns carry more weight.
+    normalize:
+        Divide each graph's vector by its vertex count, making graphs
+        of different sizes comparable.
+    """
+
+    vocabulary_size: int = 50
+    weight_by_code_length: bool = True
+    normalize: bool = True
+    miner: Optional[CSPM] = None
+
+    def __post_init__(self) -> None:
+        self._vocabulary: List[AStar] = []
+
+    @property
+    def vocabulary(self) -> List[AStar]:
+        return list(self._vocabulary)
+
+    def fit(self, graphs: Sequence[AttributedGraph]) -> "AStarFeaturizer":
+        """Mine the shared vocabulary from the given (training) graphs."""
+        if not graphs:
+            raise MiningError("need at least one graph to fit the vocabulary")
+        union = disjoint_union(graphs)
+        result = (self.miner or CSPM()).fit(union)
+        self._vocabulary = result.top(self.vocabulary_size)
+        if not self._vocabulary:
+            raise MiningError("mining produced no patterns")
+        return self
+
+    def transform(self, graphs: Sequence[AttributedGraph]) -> np.ndarray:
+        """``(len(graphs), vocabulary_size)`` feature matrix."""
+        if not self._vocabulary:
+            raise MiningError("fit() must be called before transform()")
+        matrix = np.zeros((len(graphs), len(self._vocabulary)))
+        for row, graph in enumerate(graphs):
+            for column, star in enumerate(self._vocabulary):
+                count = len(star.occurrences(graph))
+                if count == 0:
+                    continue
+                value = float(count)
+                if self.weight_by_code_length:
+                    value /= 1.0 + star.code_length
+                if self.normalize and graph.num_vertices:
+                    value /= graph.num_vertices
+                matrix[row, column] = value
+        return matrix
+
+    def fit_transform(self, graphs: Sequence[AttributedGraph]) -> np.ndarray:
+        return self.fit(graphs).transform(graphs)
+
+
+class LogisticAStarClassifier:
+    """Binary graph classifier over a-star features.
+
+    A deliberately small head (logistic regression trained with plain
+    gradient descent) — the point is the feature map, not the model.
+    """
+
+    def __init__(
+        self,
+        featurizer: Optional[AStarFeaturizer] = None,
+        epochs: int = 300,
+        lr: float = 0.5,
+        seed: int = 0,
+    ) -> None:
+        self.featurizer = featurizer or AStarFeaturizer()
+        self.epochs = epochs
+        self.lr = lr
+        self._rng = np.random.default_rng(seed)
+        self._weights: Optional[np.ndarray] = None
+        self._bias = 0.0
+        self._mean: Optional[np.ndarray] = None
+        self._std: Optional[np.ndarray] = None
+
+    def fit(
+        self, graphs: Sequence[AttributedGraph], labels: Sequence[int]
+    ) -> "LogisticAStarClassifier":
+        labels = np.asarray(labels, dtype=float)
+        if len(graphs) != len(labels):
+            raise MiningError("one label per graph is required")
+        if not set(np.unique(labels)) <= {0.0, 1.0}:
+            raise MiningError("labels must be binary (0/1)")
+        features = self.featurizer.fit_transform(graphs)
+        self._mean = features.mean(axis=0)
+        self._std = features.std(axis=0) + 1e-9
+        x = (features - self._mean) / self._std
+        n, d = x.shape
+        weights = self._rng.normal(0.0, 0.01, size=d)
+        bias = 0.0
+        for _ in range(self.epochs):
+            logits = x @ weights + bias
+            probabilities = 1.0 / (1.0 + np.exp(-logits))
+            error = probabilities - labels
+            weights -= self.lr * (x.T @ error) / n
+            bias -= self.lr * error.mean()
+        self._weights = weights
+        self._bias = bias
+        return self
+
+    def predict_proba(self, graphs: Sequence[AttributedGraph]) -> np.ndarray:
+        if self._weights is None:
+            raise MiningError("fit() must be called before predict_proba()")
+        features = self.featurizer.transform(graphs)
+        x = (features - self._mean) / self._std
+        logits = x @ self._weights + self._bias
+        return 1.0 / (1.0 + np.exp(-logits))
+
+    def predict(self, graphs: Sequence[AttributedGraph]) -> np.ndarray:
+        return (self.predict_proba(graphs) >= 0.5).astype(int)
+
+    def score(
+        self, graphs: Sequence[AttributedGraph], labels: Sequence[int]
+    ) -> float:
+        """Classification accuracy."""
+        predictions = self.predict(graphs)
+        labels = np.asarray(labels)
+        return float((predictions == labels).mean())

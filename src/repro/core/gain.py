@@ -1,0 +1,228 @@
+"""Incremental merge gain: Eq. 9-15 of the paper.
+
+The gain of merging two leafsets ``SLx`` and ``SLy`` is
+
+    dL = P1 - P2                                   (Eq. 9)
+
+where, over the common coresets ``C`` with co-occurrence ``xye > 0``:
+
+    P1 = sum_e [ fe*lg(fe) - (fe - xye)*lg(fe - xye) ]        (Eq. 10)
+    P2 = sum_e Pe                                             (Eq. 11)
+    Pe = xe*lg(xe) + ye*lg(ye)
+         - [ (xe-xye)*lg(xe-xye) + (ye-xye)*lg(ye-xye)
+             + xye*lg(xye) ]
+
+The single ``Pe`` above (with ``0*lg 0 = 0``) subsumes the paper's
+three cases: *partly merged* (Eq. 12), *totally merged* (Eq. 13) and
+*one line totally merged* (Eq. 14/15).
+
+On top of the data gain, Section IV-E notes the model-cost side: the
+new row's leafset must be materialised in ``CTL`` (priced by the
+standard code table) while fully-merged rows disappear.  This is the
+``model_gain`` component; the CSPM facade subtracts it by default
+(``include_model_cost=True``) and exposes it for ablation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Hashable, Optional
+
+from repro.core.code_table import CoreCodeTable, StandardCodeTable
+from repro.core.inverted_db import InvertedDatabase
+from repro.core.mdl import xlog2x
+
+LeafKey = FrozenSet[Hashable]
+
+
+@dataclass(frozen=True)
+class GainBreakdown:
+    """All components of a candidate merge's gain, in bits (saved).
+
+    ``data_leaf_gain``
+        Eq. 9 — the reduction of the conditional-entropy data cost.
+    ``model_gain``
+        Reduction of the model (code table) cost; usually negative
+        because the new leafset must be stored.
+    ``data_core_gain``
+        Reduction of the coreset-pointer data cost (each merged
+        position emits one coreset code instead of two).  Always >= 0.
+    """
+
+    data_leaf_gain: float
+    model_gain: float
+    data_core_gain: float
+
+    def net(self, include_model_cost: bool = True) -> float:
+        """The gain used to rank candidates.
+
+        Follows Algorithm 2 (Eq. 9) with the Section IV-E model-cost
+        correction when ``include_model_cost`` is set.
+        """
+        if include_model_cost:
+            return self.data_leaf_gain + self.model_gain
+        return self.data_leaf_gain
+
+    @property
+    def total(self) -> float:
+        """Full DL delta including every tracked component."""
+        return self.data_leaf_gain + self.model_gain + self.data_core_gain
+
+
+ZERO_GAIN = GainBreakdown(0.0, 0.0, 0.0)
+
+
+class GainEngine:
+    """Fast gain evaluation bound to one database and its code tables.
+
+    Semantically identical to :func:`pair_gain` (tests assert this) but
+    avoids per-call overhead: ``x*log2(x)`` values are served from a
+    lookup table (row frequencies only ever shrink, so the initial
+    total frequency bounds every argument), leafset standard-code costs
+    and coreset pointer lengths are cached, and the inner loop reads
+    the database's row dictionaries directly.
+    """
+
+    def __init__(
+        self,
+        db: InvertedDatabase,
+        standard_table: Optional[StandardCodeTable] = None,
+        core_table: Optional[CoreCodeTable] = None,
+    ) -> None:
+        self.db = db
+        self.standard_table = standard_table
+        self.core_table = core_table
+        self._leaf_cost = {}
+        self._pointer = {}
+        limit = db.total_frequency() + 2
+        if limit <= 4_000_000:
+            import math as _math
+
+            log2 = _math.log2
+            self._xlogx = [0.0, 0.0] + [i * log2(i) for i in range(2, limit)]
+        else:  # pragma: no cover - guard for extreme scales
+            self._xlogx = None
+
+    def _xl(self, x: int) -> float:
+        if self._xlogx is not None:
+            return self._xlogx[x]
+        return xlog2x(x)
+
+    def leaf_cost(self, leaf: LeafKey) -> float:
+        cost = self._leaf_cost.get(leaf)
+        if cost is None:
+            cost = self.standard_table.set_cost(leaf)
+            self._leaf_cost[leaf] = cost
+        return cost
+
+    def pointer(self, core) -> float:
+        length = self._pointer.get(core)
+        if length is None:
+            length = self.core_table.code_length(core) if self.core_table else 0.0
+            self._pointer[core] = length
+        return length
+
+    def gain(self, leaf_x: LeafKey, leaf_y: LeafKey) -> GainBreakdown:
+        """The :class:`GainBreakdown` of merging the two leafsets."""
+        db = self.db
+        # Prefilter: if the leafsets' position unions are disjoint, no
+        # coreset can have a non-empty intersection and the gain is 0.
+        union = db._leaf_union
+        if not (union.get(leaf_x, 0) & union.get(leaf_y, 0)):
+            return ZERO_GAIN
+        rows = db._rows
+        freq = db._core_freq
+        cores_x = db._leaf_to_cores.get(leaf_x)
+        cores_y = db._leaf_to_cores.get(leaf_y)
+        if not cores_x or not cores_y:
+            return ZERO_GAIN
+        if len(cores_x) > len(cores_y):
+            cores_x, cores_y = cores_y, cores_x
+        new_leaf = leaf_x | leaf_y
+        price_model = self.standard_table is not None
+        new_leaf_cost = self.leaf_cost(new_leaf) if price_model else 0.0
+        xl = self._xl
+        p1 = 0.0
+        p2 = 0.0
+        model_gain = 0.0
+        data_core_gain = 0.0
+        for core in cores_x:
+            if core not in cores_y:
+                continue
+            bits_x = rows[(core, leaf_x)]
+            bits_y = rows[(core, leaf_y)]
+            inter = bits_x & bits_y
+            if not inter:
+                continue
+            xye = inter.bit_count()
+            xe = bits_x.bit_count()
+            ye = bits_y.bit_count()
+            fe = freq[core]
+            p1 += xl(fe) - xl(fe - xye)
+            p2 += xl(xe) + xl(ye) - (xl(xe - xye) + xl(ye - xye) + xl(xye))
+            pointer = self.pointer(core)
+            if price_model:
+                if (core, new_leaf) not in rows:
+                    model_gain -= new_leaf_cost + pointer
+                if xye == xe:
+                    model_gain += self.leaf_cost(leaf_x) + pointer
+                if xye == ye:
+                    model_gain += self.leaf_cost(leaf_y) + pointer
+            data_core_gain += xye * pointer
+        if p1 == 0.0 and p2 == 0.0 and model_gain == 0.0 and data_core_gain == 0.0:
+            return ZERO_GAIN
+        return GainBreakdown(
+            data_leaf_gain=p1 - p2,
+            model_gain=model_gain,
+            data_core_gain=data_core_gain,
+        )
+
+
+def pair_gain(
+    db: InvertedDatabase,
+    leaf_x: LeafKey,
+    leaf_y: LeafKey,
+    standard_table: Optional[StandardCodeTable] = None,
+    core_table: Optional[CoreCodeTable] = None,
+) -> GainBreakdown:
+    """Gain of merging ``leaf_x`` and ``leaf_y`` without mutating ``db``.
+
+    When ``standard_table`` is omitted the model component is 0 (pure
+    Eq. 9 gain).  ``core_table`` prices row pointers and the
+    ``data_core_gain`` component.
+    """
+    new_leaf = leaf_x | leaf_y
+    p1 = 0.0
+    p2 = 0.0
+    model_gain = 0.0
+    data_core_gain = 0.0
+    new_leaf_cost = (
+        standard_table.set_cost(new_leaf) if standard_table is not None else 0.0
+    )
+    for stat in db.merge_stats(leaf_x, leaf_y):
+        if stat.xye == 0:
+            continue
+        fe, xe, ye, xye = stat.fe, stat.xe, stat.ye, stat.xye
+        p1 += xlog2x(fe) - xlog2x(fe - xye)
+        p2 += (
+            xlog2x(xe)
+            + xlog2x(ye)
+            - (xlog2x(xe - xye) + xlog2x(ye - xye) + xlog2x(xye))
+        )
+        if standard_table is not None:
+            pointer = (
+                core_table.code_length(stat.coreset) if core_table is not None else 0.0
+            )
+            if db.row_frequency(stat.coreset, new_leaf) == 0:
+                model_gain -= new_leaf_cost + pointer
+            if xye == xe:
+                model_gain += standard_table.set_cost(leaf_x) + pointer
+            if xye == ye:
+                model_gain += standard_table.set_cost(leaf_y) + pointer
+        if core_table is not None:
+            data_core_gain += xye * core_table.code_length(stat.coreset)
+    return GainBreakdown(
+        data_leaf_gain=p1 - p2,
+        model_gain=model_gain,
+        data_core_gain=data_core_gain,
+    )

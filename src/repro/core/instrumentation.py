@@ -1,0 +1,65 @@
+"""Run instrumentation: per-iteration traces behind Fig. 5.
+
+Both search variants record one :class:`IterationTrace` per merge.
+The *gain update ratio* of an iteration is the number of gain values
+computed (added or refreshed) divided by the number of possible leafset
+pairs at that point — exactly the quantity plotted in the paper's
+Fig. 5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class IterationTrace:
+    """What one search iteration did."""
+
+    iteration: int
+    gains_computed: int
+    possible_pairs: int
+    num_leafsets: int
+    merged_pair: Optional[Tuple[Tuple, Tuple]]
+    gain: float
+    total_dl_bits: float
+
+    @property
+    def update_ratio(self) -> float:
+        """Fraction of possible pair gains touched this iteration."""
+        if self.possible_pairs <= 0:
+            return 0.0
+        return min(1.0, self.gains_computed / self.possible_pairs)
+
+
+@dataclass
+class RunTrace:
+    """The full trace of one CSPM run."""
+
+    algorithm: str
+    initial_dl_bits: float = 0.0
+    final_dl_bits: float = 0.0
+    initial_candidate_gains: int = 0
+    iterations: List[IterationTrace] = field(default_factory=list)
+
+    @property
+    def num_iterations(self) -> int:
+        return len(self.iterations)
+
+    @property
+    def total_gain_computations(self) -> int:
+        return self.initial_candidate_gains + sum(
+            trace.gains_computed for trace in self.iterations
+        )
+
+    def update_ratios(self) -> List[float]:
+        """Per-iteration update ratios — the Fig. 5 series."""
+        return [trace.update_ratio for trace in self.iterations]
+
+    @property
+    def compression_ratio(self) -> float:
+        """Final / initial total DL (< 1 when compression succeeded)."""
+        if self.initial_dl_bits <= 0:
+            return 1.0
+        return self.final_dl_bits / self.initial_dl_bits

@@ -1,0 +1,465 @@
+"""The inverted database representation (paper, Section IV-B).
+
+The inverted database ``I`` is a three-column table whose rows are
+``(SL, Sc, positions)``: a leafset, the coreset it is attached to, and
+the set of core vertices at which this a-star is currently used in the
+cover.  Initially every row is a one-leaf-value a-star; CSPM mines by
+repeatedly *merging* two leafsets, which moves the common positions of
+each shared coreset into a new ``SLx | SLy`` row.
+
+Positions are stored as integer bitmasks over a fixed vertex order —
+the co-occurrence counts behind Eq. 9-15 are position-set
+intersections, and ``(px & py).bit_count()`` on machine words is what
+keeps gain computation fast at Pokec scale.
+
+Invariants maintained by this class (checked by :meth:`validate`):
+
+* for a given coreset and vertex, each adjacent leaf value is covered
+  by exactly one row (cover uniqueness);
+* ``coreset_frequency[Sc] == sum of row frequencies of Sc`` at all
+  times (the paper's note that ``sum_i l_ij == c_j``);
+* position sets are never empty (empty rows are dropped).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import (
+    Dict,
+    FrozenSet,
+    Hashable,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Set,
+    Tuple,
+)
+
+from repro.errors import MiningError
+from repro.graphs.attributed_graph import AttributedGraph
+
+Value = Hashable
+Vertex = Hashable
+LeafKey = FrozenSet[Value]
+CoreKey = FrozenSet[Value]
+RowKey = Tuple[CoreKey, LeafKey]
+
+
+@dataclass(frozen=True)
+class CoresetMergeStats:
+    """Per-coreset statistics of one merge, feeding Eq. 10-15.
+
+    ``fe`` is the coreset frequency before the merge, ``xe``/``ye`` the
+    frequencies of the two merged rows, ``xye`` their co-occurrence
+    (position-set intersection size).
+    """
+
+    coreset: CoreKey
+    fe: int
+    xe: int
+    ye: int
+    xye: int
+
+    @property
+    def case(self) -> str:
+        """Which of the paper's three merge cases applies (or 'none')."""
+        if self.xye == 0:
+            return "none"
+        if self.xye == self.xe and self.xye == self.ye:
+            return "total"
+        if self.xye == self.xe or self.xye == self.ye:
+            return "one-total"
+        return "partial"
+
+
+@dataclass
+class MergeOutcome:
+    """What a merge did: the new leafset, and per-coreset bookkeeping."""
+
+    leaf_x: LeafKey
+    leaf_y: LeafKey
+    new_leafset: LeafKey
+    stats: List[CoresetMergeStats] = field(default_factory=list)
+    removed_leafsets: Set[LeafKey] = field(default_factory=set)
+
+    @property
+    def touched_coresets(self) -> List[CoreKey]:
+        return [s.coreset for s in self.stats if s.xye > 0]
+
+    @property
+    def partly_merged_leafsets(self) -> Set[LeafKey]:
+        """Leafsets of the pair that survive with reduced frequency."""
+        return {self.leaf_x, self.leaf_y} - self.removed_leafsets
+
+
+class InvertedDatabase:
+    """Mutable inverted database over which CSPM searches.
+
+    Rows are keyed by ``(coreset, leafset)`` frozenset pairs.  The
+    class also maintains reverse indexes used by candidate generation:
+    leafset -> coresets and coreset -> leafsets.
+    """
+
+    def __init__(self) -> None:
+        self._rows: Dict[RowKey, int] = {}
+        self._leaf_to_cores: Dict[LeafKey, Set[CoreKey]] = {}
+        self._core_to_leaves: Dict[CoreKey, Set[LeafKey]] = {}
+        self._core_freq: Dict[CoreKey, int] = {}
+        self._vertex_ids: List[Vertex] = []
+        self._vertex_bit: Dict[Vertex, int] = {}
+        # Union of a leafset's row positions over all its coresets.
+        # Disjoint unions imply zero gain, which lets gain evaluation
+        # short-circuit with a single AND (most pairs in community-
+        # structured graphs are disjoint).
+        self._leaf_union: Dict[LeafKey, int] = {}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_graph(
+        cls,
+        graph: AttributedGraph,
+        coreset_positions: Optional[Mapping[CoreKey, Iterable[Vertex]]] = None,
+    ) -> "InvertedDatabase":
+        """Build the initial inverted database from an attributed graph.
+
+        Parameters
+        ----------
+        graph:
+            The input attributed graph.
+        coreset_positions:
+            Optional mapping ``coreset -> vertices`` produced by a
+            multi-value coreset encoder (Section IV-F, step 1).  When
+            omitted, every attribute value is its own singleton coreset
+            at every vertex carrying it.
+
+        Every initial row is ``(Sc, {leaf value})`` with positions the
+        vertices where ``Sc`` holds and some neighbour carries the leaf
+        value.
+        """
+        db = cls()
+        if coreset_positions is None:
+            coreset_positions = {
+                frozenset([value]): vertices
+                for value, vertices in graph.value_positions().items()
+            }
+        for coreset, vertices in sorted(
+            coreset_positions.items(), key=lambda kv: _key_of(kv[0])
+        ):
+            core_key = frozenset(coreset)
+            if not core_key:
+                raise MiningError("empty coreset is not allowed")
+            for vertex in sorted(vertices, key=repr):
+                for leaf_value in graph.neighbor_values(vertex):
+                    db._add_position(core_key, frozenset([leaf_value]), vertex)
+        return db
+
+    def _bit_of(self, vertex: Vertex) -> int:
+        bit = self._vertex_bit.get(vertex)
+        if bit is None:
+            bit = len(self._vertex_ids)
+            self._vertex_bit[vertex] = bit
+            self._vertex_ids.append(vertex)
+        return bit
+
+    def _add_position(self, core: CoreKey, leaf: LeafKey, vertex: Vertex) -> None:
+        key = (core, leaf)
+        mask = 1 << self._bit_of(vertex)
+        current = self._rows.get(key)
+        if current is None:
+            self._rows[key] = mask
+            self._leaf_to_cores.setdefault(leaf, set()).add(core)
+            self._core_to_leaves.setdefault(core, set()).add(leaf)
+            self._core_freq[core] = self._core_freq.get(core, 0) + 1
+            self._leaf_union[leaf] = self._leaf_union.get(leaf, 0) | mask
+        elif not (current & mask):
+            self._rows[key] = current | mask
+            self._core_freq[core] += 1
+            self._leaf_union[leaf] |= mask
+
+    def _to_vertices(self, bits: int) -> FrozenSet[Vertex]:
+        vertices = []
+        index = 0
+        while bits:
+            if bits & 1:
+                vertices.append(self._vertex_ids[index])
+            bits >>= 1
+            index += 1
+        return frozenset(vertices)
+
+    # ------------------------------------------------------------------
+    # Read access
+    # ------------------------------------------------------------------
+
+    @property
+    def num_rows(self) -> int:
+        return len(self._rows)
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def rows(self) -> Iterator[Tuple[CoreKey, LeafKey, FrozenSet[Vertex]]]:
+        """Iterate ``(coreset, leafset, positions)`` over all rows."""
+        for (core, leaf), bits in self._rows.items():
+            yield core, leaf, self._to_vertices(bits)
+
+    def row_items(self) -> Iterator[Tuple[CoreKey, LeafKey, int]]:
+        """Iterate ``(coreset, leafset, frequency)`` without decoding."""
+        for (core, leaf), bits in self._rows.items():
+            yield core, leaf, bits.bit_count()
+
+    def leafsets(self) -> List[LeafKey]:
+        """All distinct leafsets currently present."""
+        return list(self._leaf_to_cores)
+
+    def coresets(self) -> List[CoreKey]:
+        """All coresets with at least one row."""
+        return [core for core, freq in self._core_freq.items() if freq > 0]
+
+    def coresets_of(self, leaf: LeafKey) -> FrozenSet[CoreKey]:
+        """Coresets that have a row with leafset ``leaf``."""
+        return frozenset(self._leaf_to_cores.get(leaf, ()))
+
+    def leafsets_of(self, core: CoreKey) -> FrozenSet[LeafKey]:
+        """Leafsets that have a row with coreset ``core``."""
+        return frozenset(self._core_to_leaves.get(core, ()))
+
+    def related_leafsets(self, leaf: LeafKey) -> FrozenSet[LeafKey]:
+        """All other leafsets sharing at least one coreset with ``leaf``.
+
+        Only such leafsets can ever have a positive merge gain with
+        ``leaf`` (the observation behind CSPM-Partial, Section V).
+        """
+        related: Set[LeafKey] = set()
+        for core in self._leaf_to_cores.get(leaf, ()):
+            related |= self._core_to_leaves[core]
+        related.discard(leaf)
+        return frozenset(related)
+
+    def positions(self, core: CoreKey, leaf: LeafKey) -> FrozenSet[Vertex]:
+        """Positions of row ``(core, leaf)`` (empty if absent)."""
+        return self._to_vertices(self._rows.get((core, leaf), 0))
+
+    def row_frequency(self, core: CoreKey, leaf: LeafKey) -> int:
+        """``fL`` of the row (0 if the row does not exist)."""
+        return self._rows.get((core, leaf), 0).bit_count()
+
+    def coreset_frequency(self, core: CoreKey) -> int:
+        """``fc``: total row frequency of ``core`` (== sum_i l_ic)."""
+        return self._core_freq.get(core, 0)
+
+    def total_frequency(self) -> int:
+        """``s``: the sum of all row frequencies (Eq. 7)."""
+        return sum(self._core_freq.values())
+
+    def has_leafset(self, leaf: LeafKey) -> bool:
+        """Whether any row currently uses leafset ``leaf``."""
+        return leaf in self._leaf_to_cores
+
+    def common_coresets(self, leaf_x: LeafKey, leaf_y: LeafKey) -> List[CoreKey]:
+        """Coresets having rows for both leafsets (the paper's ``C``)."""
+        cores_x = self._leaf_to_cores.get(leaf_x)
+        cores_y = self._leaf_to_cores.get(leaf_y)
+        if not cores_x or not cores_y:
+            return []
+        if len(cores_x) > len(cores_y):
+            cores_x, cores_y = cores_y, cores_x
+        return [core for core in cores_x if core in cores_y]
+
+    # ------------------------------------------------------------------
+    # Merge mechanics
+    # ------------------------------------------------------------------
+
+    def merge_stats(self, leaf_x: LeafKey, leaf_y: LeafKey) -> List[CoresetMergeStats]:
+        """Per-coreset ``(fe, xe, ye, xye)`` without mutating the DB."""
+        stats = []
+        rows = self._rows
+        freq = self._core_freq
+        for core in self.common_coresets(leaf_x, leaf_y):
+            px = rows[(core, leaf_x)]
+            py = rows[(core, leaf_y)]
+            stats.append(
+                CoresetMergeStats(
+                    coreset=core,
+                    fe=freq[core],
+                    xe=px.bit_count(),
+                    ye=py.bit_count(),
+                    xye=(px & py).bit_count(),
+                )
+            )
+        return stats
+
+    def merge(self, leaf_x: LeafKey, leaf_y: LeafKey) -> MergeOutcome:
+        """Merge two leafsets globally across all common coresets.
+
+        For every common coreset ``e`` with a non-empty position
+        intersection, the intersection moves into the row
+        ``(e, leaf_x | leaf_y)`` and is removed from both source rows;
+        emptied rows are dropped.  Returns the :class:`MergeOutcome`
+        describing what happened.
+        """
+        if leaf_x == leaf_y:
+            raise MiningError("cannot merge a leafset with itself")
+        if leaf_x not in self._leaf_to_cores or leaf_y not in self._leaf_to_cores:
+            raise MiningError("both leafsets must exist in the database")
+        new_leaf = leaf_x | leaf_y
+        outcome = MergeOutcome(leaf_x=leaf_x, leaf_y=leaf_y, new_leafset=new_leaf)
+        for core in sorted(self.common_coresets(leaf_x, leaf_y), key=_key_of):
+            px = self._rows[(core, leaf_x)]
+            py = self._rows[(core, leaf_y)]
+            inter = px & py
+            count = inter.bit_count()
+            outcome.stats.append(
+                CoresetMergeStats(
+                    coreset=core,
+                    fe=self._core_freq[core],
+                    xe=px.bit_count(),
+                    ye=py.bit_count(),
+                    xye=count,
+                )
+            )
+            if not count:
+                continue
+            target_key = (core, new_leaf)
+            target = self._rows.get(target_key)
+            if target is None:
+                self._rows[target_key] = inter
+                self._leaf_to_cores.setdefault(new_leaf, set()).add(core)
+                self._core_to_leaves.setdefault(core, set()).add(new_leaf)
+            else:
+                # Disjointness holds because per (coreset, vertex) each
+                # leaf value is covered by exactly one row.
+                self._rows[target_key] = target | inter
+            # Each merged position replaces two row usages by one.
+            self._core_freq[core] -= count
+            for leaf, remaining in ((leaf_x, px & ~inter), (leaf_y, py & ~inter)):
+                if remaining:
+                    self._rows[(core, leaf)] = remaining
+                else:
+                    del self._rows[(core, leaf)]
+                    self._core_to_leaves[core].discard(leaf)
+                    if not self._core_to_leaves[core]:
+                        del self._core_to_leaves[core]
+                    cores = self._leaf_to_cores[leaf]
+                    cores.discard(core)
+                    if not cores:
+                        del self._leaf_to_cores[leaf]
+                        del self._leaf_union[leaf]
+                        outcome.removed_leafsets.add(leaf)
+        # Refresh the union masks of the leafsets the merge touched.
+        for leaf in (leaf_x, leaf_y, new_leaf):
+            cores = self._leaf_to_cores.get(leaf)
+            if cores:
+                union = 0
+                for core in cores:
+                    union |= self._rows[(core, leaf)]
+                self._leaf_union[leaf] = union
+        return outcome
+
+    def leaf_union_mask(self, leaf: LeafKey) -> int:
+        """Union bitmask of the leafset's positions over all coresets."""
+        return self._leaf_union.get(leaf, 0)
+
+    # ------------------------------------------------------------------
+    # Validation / export
+    # ------------------------------------------------------------------
+
+    def validate(self, graph: Optional[AttributedGraph] = None) -> None:
+        """Check structural invariants; raise :class:`MiningError` if broken.
+
+        With ``graph`` given, also checks losslessness for singleton
+        coresets: the union of rows reconstructs exactly the initial
+        (core value, vertex) -> adjacent-leaf-values relation.
+        """
+        recomputed: Dict[CoreKey, int] = {}
+        for (core, leaf), bits in self._rows.items():
+            if not bits:
+                raise MiningError(f"empty row {(core, leaf)}")
+            if core not in self._leaf_to_cores.get(leaf, ()):
+                raise MiningError(f"index out of sync for row {(core, leaf)}")
+            recomputed[core] = recomputed.get(core, 0) + bits.bit_count()
+        active = {c: f for c, f in self._core_freq.items() if f > 0}
+        if recomputed != active:
+            raise MiningError("coreset frequencies out of sync with rows")
+        for leaf, cores in self._leaf_to_cores.items():
+            for core in cores:
+                if (core, leaf) not in self._rows:
+                    raise MiningError(f"dangling index entry {(core, leaf)}")
+                if leaf not in self._core_to_leaves.get(core, ()):
+                    raise MiningError(f"core index missing {(core, leaf)}")
+        for core, leaves in self._core_to_leaves.items():
+            for leaf in leaves:
+                if (core, leaf) not in self._rows:
+                    raise MiningError(f"dangling core index entry {(core, leaf)}")
+        for leaf, cores in self._leaf_to_cores.items():
+            union = 0
+            for core in cores:
+                union |= self._rows[(core, leaf)]
+            if self._leaf_union.get(leaf, 0) != union:
+                raise MiningError(f"stale union mask for leafset {set(leaf)}")
+        if graph is not None:
+            self._validate_lossless(graph)
+
+    def _validate_lossless(self, graph: AttributedGraph) -> None:
+        """Cover uniqueness + exact reconstruction for singleton coresets."""
+        covered: Dict[Tuple[CoreKey, Vertex], Set[Value]] = {}
+        for core, leaf, positions in self.rows():
+            for vertex in positions:
+                slot = covered.setdefault((core, vertex), set())
+                if slot & leaf:
+                    raise MiningError(
+                        f"leaf values {slot & leaf} covered twice at "
+                        f"vertex {vertex!r} for coreset {set(core)}"
+                    )
+                slot |= leaf
+        for (core, vertex), values in covered.items():
+            if len(core) != 1:
+                continue
+            (core_value,) = core
+            if core_value not in graph.attributes_of(vertex):
+                raise MiningError(
+                    f"row places coreset {set(core)} at vertex {vertex!r} "
+                    "which does not carry it"
+                )
+            expected = graph.neighbor_values(vertex)
+            if values != expected:
+                raise MiningError(
+                    f"reconstruction mismatch at vertex {vertex!r}: "
+                    f"covered {values} != neighbourhood {set(expected)}"
+                )
+
+    def snapshot(self) -> Dict[RowKey, FrozenSet[Vertex]]:
+        """An immutable copy of all rows (for tests and debugging)."""
+        return {key: self._to_vertices(bits) for key, bits in self._rows.items()}
+
+    def copy(self) -> "InvertedDatabase":
+        """An independent deep copy (merges on it leave self intact)."""
+        db = InvertedDatabase()
+        db._rows = dict(self._rows)
+        db._leaf_to_cores = {
+            leaf: set(cores) for leaf, cores in self._leaf_to_cores.items()
+        }
+        db._core_to_leaves = {
+            core: set(leaves) for core, leaves in self._core_to_leaves.items()
+        }
+        db._core_freq = dict(self._core_freq)
+        db._vertex_ids = list(self._vertex_ids)
+        db._vertex_bit = dict(self._vertex_bit)
+        db._leaf_union = dict(self._leaf_union)
+        return db
+
+    def __repr__(self) -> str:
+        return (
+            f"InvertedDatabase(rows={len(self._rows)}, "
+            f"leafsets={len(self._leaf_to_cores)}, "
+            f"coresets={len(self.coresets())}, s={self.total_frequency()})"
+        )
+
+
+def _key_of(values: FrozenSet) -> Tuple:
+    """Deterministic sort key for frozensets of hashables."""
+    return tuple(sorted(map(repr, values)))

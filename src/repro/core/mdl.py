@@ -1,0 +1,140 @@
+"""MDL accounting: Eq. 1-8 of the paper, as a *reference* implementation.
+
+The search procedures use the incremental gain of
+:mod:`repro.core.gain`; this module recomputes description lengths from
+scratch so tests can assert that the incremental bookkeeping matches
+the definitions exactly.
+
+Cost model
+----------
+
+``L(M, I) = L(M) + L(I|M)`` (Eq. 1) with:
+
+* ``L(M) = L(CTc|I) + L(CTL|I)`` (Eq. 2).  Each CTc entry costs the ST
+  codes of its core values plus its own code ``Code_c``.  Each CTL row
+  costs the ST codes of its leaf values plus the pointer to its coreset
+  (``Code_c``).  Following the paper's gain derivation (Section IV-E),
+  the code-*column* lengths (``Code_L``) are not charged to the model —
+  they are fully determined by ``fL/fc`` and accounted on the data side.
+* ``L(I|M)`` is the conditional-entropy data cost of Eq. 8:
+  ``sum_j c_j log2 c_j - sum_ij l_ij log2 l_ij`` (the ``Code_L`` part of
+  Eq. 3), plus the coreset-code part ``sum_rows fL * Code_c(Sc)``
+  reported separately as ``data_core_bits``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.code_table import CoreCodeTable, StandardCodeTable
+from repro.core.inverted_db import InvertedDatabase
+
+
+def xlog2x(x: float) -> float:
+    """``x * log2(x)`` with the standard convention ``0 * log 0 = 0``."""
+    if x <= 0:
+        return 0.0
+    return x * math.log2(x)
+
+
+@dataclass(frozen=True)
+class DescriptionLength:
+    """A breakdown of the total description length, in bits."""
+
+    model_core_bits: float
+    model_leaf_bits: float
+    data_leaf_bits: float
+    data_core_bits: float
+
+    @property
+    def model_bits(self) -> float:
+        """``L(M)`` (Eq. 2)."""
+        return self.model_core_bits + self.model_leaf_bits
+
+    @property
+    def data_bits(self) -> float:
+        """``L(I|M)`` (Eq. 3)."""
+        return self.data_leaf_bits + self.data_core_bits
+
+    @property
+    def total_bits(self) -> float:
+        """``L(M, I)`` (Eq. 1)."""
+        return self.model_bits + self.data_bits
+
+    def __str__(self) -> str:
+        return (
+            f"L(M,I)={self.total_bits:.2f} bits "
+            f"[model={self.model_bits:.2f} (core={self.model_core_bits:.2f}, "
+            f"leaf={self.model_leaf_bits:.2f}), data={self.data_bits:.2f} "
+            f"(leaf={self.data_leaf_bits:.2f}, core={self.data_core_bits:.2f})]"
+        )
+
+
+def data_leaf_bits(db: InvertedDatabase) -> float:
+    """Eq. 8: ``sum_j c_j log2 c_j - sum_ij l_ij log2 l_ij``."""
+    total = 0.0
+    for core in db.coresets():
+        total += xlog2x(db.coreset_frequency(core))
+    for _core, _leaf, frequency in db.row_items():
+        total -= xlog2x(frequency)
+    return total
+
+
+def conditional_entropy(db: InvertedDatabase) -> float:
+    """``H(Y|X)`` of Eq. 7 over the live inverted database.
+
+    The identity ``L(I|M) == s * H(Y|X)`` (Eq. 8) is covered by tests.
+    """
+    s = db.total_frequency()
+    if s == 0:
+        return 0.0
+    entropy = 0.0
+    for core, _leaf, l_ij in db.row_items():
+        c_j = db.coreset_frequency(core)
+        entropy -= (l_ij / s) * math.log2(l_ij / c_j)
+    return entropy
+
+
+def description_length(
+    db: InvertedDatabase,
+    standard_table: StandardCodeTable,
+    core_table: Optional[CoreCodeTable] = None,
+) -> DescriptionLength:
+    """Recompute the full DL breakdown from scratch (Eq. 1-8)."""
+    model_core = 0.0
+    if core_table is not None:
+        for coreset in core_table.coresets():
+            model_core += standard_table.set_cost(coreset)
+            model_core += core_table.code_length(coreset)
+    model_leaf = 0.0
+    data_core = 0.0
+    for core, leaf, frequency in db.row_items():
+        model_leaf += standard_table.set_cost(leaf)
+        if core_table is not None:
+            pointer = core_table.code_length(core)
+            model_leaf += pointer
+            data_core += frequency * pointer
+    return DescriptionLength(
+        model_core_bits=model_core,
+        model_leaf_bits=model_leaf,
+        data_leaf_bits=data_leaf_bits(db),
+        data_core_bits=data_core,
+    )
+
+
+def row_code_length(db: InvertedDatabase, core, leaf) -> float:
+    """``L(Code_L)`` of a row: ``-log2(fL / fc)`` (Eq. 6)."""
+    f_l = db.row_frequency(core, leaf)
+    f_c = db.coreset_frequency(core)
+    if f_l <= 0 or f_c <= 0:
+        raise ValueError("row does not exist")
+    return -math.log2(f_l / f_c)
+
+
+def astar_code_length(
+    db: InvertedDatabase, core_table: CoreCodeTable, core, leaf
+) -> float:
+    """``L(Scode) = L(Code_c) + L(Code_L)`` (Eq. 4)."""
+    return core_table.code_length(core) + row_code_length(db, core, leaf)

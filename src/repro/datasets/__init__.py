@@ -1,0 +1,30 @@
+"""Synthetic analogues of the paper's benchmark datasets.
+
+The paper's graphs (DBLP, DBLP-Trend, USFlight, Pokec, Cora, Citeseer)
+are public but not available offline, so each generator reproduces the
+*statistical shape* that matters to CSPM: the Table II node/edge/
+coreset counts and community-correlated attribute co-occurrence (venue
+clusters, music-taste homophily, flight-trend coupling).  Each accepts
+a ``scale`` to shrink the graph proportionally for fast benchmarks.
+"""
+
+from repro.datasets.registry import available_datasets, load_dataset
+from repro.datasets.synthetic import (
+    citeseer_like,
+    cora_like,
+    dblp_like,
+    dblp_trend_like,
+    pokec_like,
+    usflight_like,
+)
+
+__all__ = [
+    "available_datasets",
+    "citeseer_like",
+    "cora_like",
+    "dblp_like",
+    "dblp_trend_like",
+    "load_dataset",
+    "pokec_like",
+    "usflight_like",
+]

@@ -1,0 +1,23 @@
+"""Attributed-graph substrate.
+
+The paper's input is a connected, self-loop-free undirected graph whose
+vertices carry sets of nominal attribute values.  This package provides
+the :class:`~repro.graphs.attributed_graph.AttributedGraph` container
+together with builders, (de)serialisation, statistics (Table II) and
+synthetic generators used throughout the experiments.
+"""
+
+from repro.graphs.attributed_graph import AttributedGraph
+from repro.graphs.generators import (
+    planted_astar_graph,
+    random_attributed_graph,
+)
+from repro.graphs.stats import GraphStats, graph_stats
+
+__all__ = [
+    "AttributedGraph",
+    "GraphStats",
+    "graph_stats",
+    "planted_astar_graph",
+    "random_attributed_graph",
+]

@@ -1,0 +1,67 @@
+"""Convenience builders for small reference graphs.
+
+Most importantly, :func:`paper_running_example` reconstructs the
+five-vertex running example of the paper (Fig. 1a), which doubles as
+golden-test input: the paper works its inverted database (Fig. 2), code
+tables (Fig. 3) and first merge (Fig. 4) on this exact graph.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.errors import GraphError
+from repro.graphs.attributed_graph import AttributedGraph
+
+
+def paper_running_example() -> AttributedGraph:
+    """The attributed graph of Fig. 1(a).
+
+    Vertices ``v1..v5`` are encoded as ints 1..5::
+
+        v1={a}   v2={a,c}   v3={c}   v4={b}   v5={a,b}
+        edges: v1-v2, v1-v3, v1-v4, v3-v5, v4-v5
+    """
+    return AttributedGraph.from_edges(
+        edges=[(1, 2), (1, 3), (1, 4), (3, 5), (4, 5)],
+        attributes={
+            1: {"a"},
+            2: {"a", "c"},
+            3: {"c"},
+            4: {"b"},
+            5: {"a", "b"},
+        },
+    )
+
+
+def star_graph(
+    core_values: Iterable[str],
+    leaf_value_sets: Sequence[Iterable[str]],
+) -> AttributedGraph:
+    """A single star: core vertex 0 connected to one vertex per leafset.
+
+    Useful for constructing graphs whose a-stars are known exactly.
+    """
+    leaf_value_sets = list(leaf_value_sets)
+    if not leaf_value_sets:
+        raise GraphError("a star needs at least one leaf")
+    attributes = {0: set(core_values)}
+    edges = []
+    for index, values in enumerate(leaf_value_sets, start=1):
+        edges.append((0, index))
+        attributes[index] = set(values)
+    return AttributedGraph.from_edges(edges, attributes)
+
+
+def path_graph(attribute_sequence: Sequence[Iterable[str]]) -> AttributedGraph:
+    """A path ``0-1-...-(n-1)`` with the given per-vertex value sets."""
+    n = len(attribute_sequence)
+    if n == 0:
+        raise GraphError("path needs at least one vertex")
+    edges = [(i, i + 1) for i in range(n - 1)]
+    attributes = {i: set(values) for i, values in enumerate(attribute_sequence)}
+    graph = AttributedGraph.from_edges(edges, attributes)
+    if n == 1:
+        graph.add_vertex(0)
+        graph.set_attributes(0, set(attribute_sequence[0]))
+    return graph

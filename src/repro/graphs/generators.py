@@ -1,0 +1,164 @@
+"""Random and planted attributed-graph generators.
+
+Two generators are provided:
+
+* :func:`random_attributed_graph` — a noise model (random topology with
+  independently-drawn attribute values) used as a null reference in
+  tests and ablations.
+* :func:`planted_astar_graph` — plants ground-truth a-star correlations
+  (core value on a vertex => leaf values on its neighbours) on top of a
+  random backbone, so that tests and benchmarks can check whether CSPM
+  recovers known patterns.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Set, Tuple
+
+from repro.errors import DatasetError
+from repro.graphs.attributed_graph import AttributedGraph
+
+
+def _random_connected_edges(
+    num_vertices: int, num_edges: int, rng: random.Random
+) -> List[Tuple[int, int]]:
+    """A connected edge set: a random spanning tree plus random extras."""
+    if num_vertices < 1:
+        raise DatasetError("num_vertices must be >= 1")
+    max_edges = num_vertices * (num_vertices - 1) // 2
+    if num_edges > max_edges:
+        raise DatasetError(
+            f"num_edges={num_edges} exceeds the maximum {max_edges} "
+            f"for {num_vertices} vertices"
+        )
+    if num_vertices > 1 and num_edges < num_vertices - 1:
+        raise DatasetError(
+            "a connected graph needs at least num_vertices - 1 edges"
+        )
+    edges: Set[Tuple[int, int]] = set()
+    order = list(range(num_vertices))
+    rng.shuffle(order)
+    for i in range(1, num_vertices):
+        u = order[i]
+        v = order[rng.randrange(i)]
+        edges.add((min(u, v), max(u, v)))
+    while len(edges) < num_edges:
+        u = rng.randrange(num_vertices)
+        v = rng.randrange(num_vertices)
+        if u != v:
+            edges.add((min(u, v), max(u, v)))
+    return sorted(edges)
+
+
+def random_attributed_graph(
+    num_vertices: int,
+    num_edges: int,
+    values: Sequence[str],
+    values_per_vertex: int = 2,
+    seed: int = 0,
+) -> AttributedGraph:
+    """A connected random graph with independently drawn attribute values.
+
+    Each vertex receives ``values_per_vertex`` distinct values drawn
+    uniformly from ``values`` (fewer if the universe is smaller).
+    """
+    if not values:
+        raise DatasetError("values must be non-empty")
+    rng = random.Random(seed)
+    edges = _random_connected_edges(num_vertices, num_edges, rng)
+    take = min(values_per_vertex, len(values))
+    attributes = {
+        vertex: rng.sample(list(values), take) for vertex in range(num_vertices)
+    }
+    return AttributedGraph.from_edges(edges, attributes)
+
+
+@dataclass(frozen=True)
+class PlantedAStar:
+    """A ground-truth planted correlation.
+
+    When ``core_value`` is assigned to a vertex, each value of
+    ``leaf_values`` is planted on at least one neighbour with
+    probability ``strength``.
+    """
+
+    core_value: str
+    leaf_values: Tuple[str, ...]
+    strength: float = 0.9
+
+
+@dataclass
+class PlantedGraphTruth:
+    """What :func:`planted_astar_graph` actually planted (for checking)."""
+
+    patterns: List[PlantedAStar] = field(default_factory=list)
+    core_positions: Dict[str, Set[int]] = field(default_factory=dict)
+
+
+def planted_astar_graph(
+    num_vertices: int,
+    num_edges: int,
+    patterns: Sequence[PlantedAStar],
+    noise_values: Sequence[str] = (),
+    noise_rate: float = 0.1,
+    carrier_fraction: float = 0.3,
+    seed: int = 0,
+) -> Tuple[AttributedGraph, PlantedGraphTruth]:
+    """A random connected graph with planted a-star correlations.
+
+    Parameters
+    ----------
+    patterns:
+        The ground-truth a-stars to plant.  A ``carrier_fraction`` of
+        vertices is selected for each pattern; carriers receive the core
+        value, and each leaf value is pushed onto a random neighbour
+        with probability ``pattern.strength``.
+    noise_values / noise_rate:
+        Each vertex additionally receives each noise value independently
+        with probability ``noise_rate``.
+
+    Returns the graph together with a :class:`PlantedGraphTruth` that
+    records where cores were planted, so tests can verify recovery.
+    """
+    if not 0.0 <= noise_rate <= 1.0:
+        raise DatasetError("noise_rate must be within [0, 1]")
+    if not 0.0 < carrier_fraction <= 1.0:
+        raise DatasetError("carrier_fraction must be within (0, 1]")
+    rng = random.Random(seed)
+    edges = _random_connected_edges(num_vertices, num_edges, rng)
+    adjacency: Dict[int, Set[int]] = {v: set() for v in range(num_vertices)}
+    for u, v in edges:
+        adjacency[u].add(v)
+        adjacency[v].add(u)
+
+    attributes: Dict[int, Set[str]] = {v: set() for v in range(num_vertices)}
+    truth = PlantedGraphTruth(patterns=list(patterns))
+    carriers_count = max(1, int(carrier_fraction * num_vertices))
+    for pattern in patterns:
+        carriers = rng.sample(range(num_vertices), carriers_count)
+        positions = truth.core_positions.setdefault(pattern.core_value, set())
+        for vertex in carriers:
+            if not adjacency[vertex]:
+                continue
+            attributes[vertex].add(pattern.core_value)
+            positions.add(vertex)
+            neighbours = sorted(adjacency[vertex])
+            for leaf_value in pattern.leaf_values:
+                if rng.random() < pattern.strength:
+                    target = rng.choice(neighbours)
+                    attributes[target].add(leaf_value)
+
+    for vertex in range(num_vertices):
+        for value in noise_values:
+            if rng.random() < noise_rate:
+                attributes[vertex].add(value)
+        if not attributes[vertex]:
+            # Every vertex carries at least one value so the mapping
+            # function is total, as in the paper's datasets.
+            pool = list(noise_values) or [p.core_value for p in patterns]
+            attributes[vertex].add(rng.choice(pool))
+
+    graph = AttributedGraph.from_edges(edges, attributes)
+    return graph, truth

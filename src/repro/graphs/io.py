@@ -1,0 +1,87 @@
+"""Serialisation of attributed graphs.
+
+Two formats are supported:
+
+* JSON — explicit ``{"edges": [...], "attributes": {...}}`` documents,
+  round-trip safe for string/int vertex ids and string values.
+* An adjacency text format — one ``vertex | neighbours | values`` line
+  per vertex, convenient for eyeballing small graphs.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+from repro.errors import GraphError
+from repro.graphs.attributed_graph import AttributedGraph
+
+PathLike = Union[str, Path]
+
+
+def to_json_dict(graph: AttributedGraph) -> dict:
+    """A JSON-serialisable dict representation of ``graph``."""
+    return {
+        "vertices": sorted(graph.vertices(), key=repr),
+        "edges": sorted(
+            ([min(u, v, key=repr), max(u, v, key=repr)] for u, v in graph.edges()),
+            key=repr,
+        ),
+        "attributes": {
+            str(vertex): sorted(graph.attributes_of(vertex), key=repr)
+            for vertex in graph.vertices()
+        },
+    }
+
+
+def from_json_dict(document: dict, int_vertices: bool = True) -> AttributedGraph:
+    """Rebuild a graph from :func:`to_json_dict` output.
+
+    JSON object keys are strings; when ``int_vertices`` is true, keys of
+    the ``attributes`` mapping are parsed back to ints when possible.
+    """
+
+    def parse(key: str):
+        if int_vertices:
+            try:
+                return int(key)
+            except (TypeError, ValueError):
+                return key
+        return key
+
+    graph = AttributedGraph()
+    for vertex in document.get("vertices", []):
+        graph.add_vertex(vertex)
+    for u, v in document.get("edges", []):
+        graph.add_edge(u, v)
+    for key, values in document.get("attributes", {}).items():
+        vertex = parse(key)
+        if vertex not in graph:
+            graph.add_vertex(vertex)
+        graph.set_attributes(vertex, values)
+    return graph
+
+
+def save_json(graph: AttributedGraph, path: PathLike) -> None:
+    """Write ``graph`` to ``path`` as a JSON document."""
+    Path(path).write_text(json.dumps(to_json_dict(graph), indent=2))
+
+
+def load_json(path: PathLike, int_vertices: bool = True) -> AttributedGraph:
+    """Load a graph previously written by :func:`save_json`."""
+    try:
+        document = json.loads(Path(path).read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise GraphError(f"cannot load graph from {path}: {exc}") from exc
+    return from_json_dict(document, int_vertices=int_vertices)
+
+
+def to_adjacency_text(graph: AttributedGraph) -> str:
+    """Human-readable ``vertex | neighbours | values`` listing."""
+    lines = []
+    for vertex in sorted(graph.vertices(), key=repr):
+        neighbours = ",".join(str(n) for n in sorted(graph.neighbors(vertex), key=repr))
+        values = ",".join(str(v) for v in sorted(graph.attributes_of(vertex), key=repr))
+        lines.append(f"{vertex} | {neighbours} | {values}")
+    return "\n".join(lines)

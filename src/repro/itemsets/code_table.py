@@ -1,0 +1,205 @@
+"""The Krimp/SLIM code table and its MDL accounting.
+
+A code table ``CT`` maps itemsets to codes whose lengths follow from
+their *usage* in the cover of the database:
+
+    L(X) = -log2(usage(X) / total_usage)
+
+The total description length is ``L(CT|D) + L(D|CT)`` where the model
+cost prices each in-use itemset by its standard (per-item Shannon)
+codes plus its own code, and the data cost is the sum of the code
+lengths of every cover element over all transactions.
+
+Covers use Krimp's *standard cover order*: itemsets sorted by
+cardinality (desc), support (desc), lexicographic — greedily matched
+against the uncovered remainder of the transaction, so every cover is
+a partition of the transaction.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, FrozenSet, Hashable, Iterable, List, Optional, Tuple
+
+from repro.errors import EncodingError, MiningError
+from repro.itemsets.transactions import TransactionDatabase
+
+Item = Hashable
+Itemset = FrozenSet[Item]
+
+
+def _lex_key(itemset: Itemset) -> Tuple[str, ...]:
+    return tuple(sorted(map(repr, itemset)))
+
+
+class ItemsetCodeTable:
+    """A code table over a fixed transaction database."""
+
+    def __init__(self, database: TransactionDatabase) -> None:
+        self._db = database
+        frequencies = database.item_frequencies()
+        total = database.total_item_occurrences()
+        self._st_lengths: Dict[Item, float] = {
+            item: -math.log2(count / total) for item, count in frequencies.items()
+        }
+        # Singletons are always present (Krimp's ST backbone).
+        self._supports: Dict[Itemset, int] = {
+            frozenset([item]): count for item, count in frequencies.items()
+        }
+        self._order: Optional[List[Itemset]] = None
+        self._usages: Optional[Dict[Itemset, int]] = None
+        self._covers: Optional[List[List[Itemset]]] = None
+
+    # ------------------------------------------------------------------
+    # Membership
+    # ------------------------------------------------------------------
+
+    @property
+    def database(self) -> TransactionDatabase:
+        return self._db
+
+    def itemsets(self) -> List[Itemset]:
+        """All itemsets currently in the table (including singletons)."""
+        return list(self._supports)
+
+    def non_singletons(self) -> List[Itemset]:
+        return [x for x in self._supports if len(x) > 1]
+
+    def __contains__(self, itemset: Iterable[Item]) -> bool:
+        return frozenset(itemset) in self._supports
+
+    def __len__(self) -> int:
+        return len(self._supports)
+
+    def add(self, itemset: Iterable[Item]) -> None:
+        """Insert ``itemset`` (support computed from the database)."""
+        key = frozenset(itemset)
+        if len(key) < 2:
+            raise MiningError("only non-singleton itemsets can be added")
+        if key in self._supports:
+            raise MiningError(f"itemset {set(key)} already present")
+        support = self._db.support(key)
+        if support == 0:
+            raise MiningError(f"itemset {set(key)} never occurs in the database")
+        self._supports[key] = support
+        self._invalidate()
+
+    def remove(self, itemset: Iterable[Item]) -> None:
+        """Remove a non-singleton itemset."""
+        key = frozenset(itemset)
+        if len(key) < 2:
+            raise MiningError("singletons cannot be removed")
+        if key not in self._supports:
+            raise MiningError(f"itemset {set(key)} not present")
+        del self._supports[key]
+        self._invalidate()
+
+    def _invalidate(self) -> None:
+        self._order = None
+        self._usages = None
+        self._covers = None
+
+    # ------------------------------------------------------------------
+    # Covering
+    # ------------------------------------------------------------------
+
+    def cover_order(self) -> List[Itemset]:
+        """Standard cover order: |X| desc, support desc, lexicographic."""
+        if self._order is None:
+            self._order = sorted(
+                self._supports,
+                key=lambda x: (-len(x), -self._supports[x], _lex_key(x)),
+            )
+        return self._order
+
+    def cover(self, transaction: Itemset) -> List[Itemset]:
+        """Greedy standard cover of ``transaction`` (a partition)."""
+        remaining = set(transaction)
+        cover: List[Itemset] = []
+        for itemset in self.cover_order():
+            if len(itemset) > len(remaining):
+                continue
+            if itemset <= remaining:
+                cover.append(itemset)
+                remaining -= itemset
+                if not remaining:
+                    break
+        if remaining:
+            missing = {item for item in remaining if item not in self._st_lengths}
+            raise EncodingError(
+                f"transaction contains unknown items {missing or remaining}"
+            )
+        return cover
+
+    def _ensure_covered(self) -> None:
+        if self._usages is not None:
+            return
+        usages: Dict[Itemset, int] = {key: 0 for key in self._supports}
+        covers: List[List[Itemset]] = []
+        for transaction in self._db:
+            cover = self.cover(transaction)
+            covers.append(cover)
+            for itemset in cover:
+                usages[itemset] += 1
+        self._usages = usages
+        self._covers = covers
+
+    def usages(self) -> Dict[Itemset, int]:
+        """Itemset -> usage count over the database cover."""
+        self._ensure_covered()
+        return dict(self._usages)
+
+    def covers(self) -> List[List[Itemset]]:
+        """The cover (partition) of each transaction."""
+        self._ensure_covered()
+        return [list(c) for c in self._covers]
+
+    # ------------------------------------------------------------------
+    # MDL
+    # ------------------------------------------------------------------
+
+    def st_length(self, item: Item) -> float:
+        try:
+            return self._st_lengths[item]
+        except KeyError:
+            raise EncodingError(f"unknown item {item!r}") from None
+
+    def code_length(self, itemset: Iterable[Item]) -> float:
+        """``L(X) = -log2(usage / total_usage)``; inf for unused sets."""
+        self._ensure_covered()
+        key = frozenset(itemset)
+        usage = self._usages.get(key)
+        if usage is None:
+            raise EncodingError(f"itemset {set(key)} not in code table")
+        total = sum(self._usages.values())
+        if usage == 0 or total == 0:
+            return math.inf
+        return -math.log2(usage / total)
+
+    def description_length(self) -> Tuple[float, float]:
+        """``(L(CT|D), L(D|CT))`` in bits.
+
+        Unused itemsets do not contribute (Krimp prices only in-use
+        entries).
+        """
+        self._ensure_covered()
+        total_usage = sum(self._usages.values())
+        model_bits = 0.0
+        data_bits = 0.0
+        for itemset, usage in self._usages.items():
+            if usage == 0:
+                continue
+            length = -math.log2(usage / total_usage)
+            model_bits += length + sum(self._st_lengths[i] for i in itemset)
+            data_bits += usage * length
+        return model_bits, data_bits
+
+    def total_bits(self) -> float:
+        model_bits, data_bits = self.description_length()
+        return model_bits + data_bits
+
+    def __repr__(self) -> str:
+        return (
+            f"ItemsetCodeTable(itemsets={len(self._supports)}, "
+            f"non_singletons={len(self.non_singletons())})"
+        )

@@ -1,0 +1,55 @@
+"""Eclat frequent-itemset mining (candidate source for Krimp).
+
+Krimp requires a pre-mined candidate collection — the very property the
+paper criticises (CSPM finds candidates on the fly).  We implement the
+classic vertical-representation depth-first miner.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Hashable, List, Set, Tuple
+
+from repro.errors import MiningError
+from repro.itemsets.transactions import TransactionDatabase
+
+Item = Hashable
+Itemset = FrozenSet[Item]
+
+
+def frequent_itemsets(
+    database: TransactionDatabase,
+    min_support: int = 2,
+    max_size: int = 6,
+    max_itemsets: int = 100_000,
+) -> List[Tuple[Itemset, int]]:
+    """All itemsets with support >= ``min_support`` and size <= ``max_size``.
+
+    Returns ``(itemset, support)`` pairs.  ``max_itemsets`` bounds the
+    output as a safety valve for dense databases.
+    """
+    if min_support < 1:
+        raise MiningError("min_support must be >= 1")
+    if max_size < 1:
+        raise MiningError("max_size must be >= 1")
+    items = [
+        (item, database.tidlist(item))
+        for item in database.items
+        if len(database.tidlist(item)) >= min_support
+    ]
+    items.sort(key=lambda pair: (len(pair[1]), repr(pair[0])))
+    results: List[Tuple[Itemset, int]] = []
+
+    def recurse(prefix: Tuple[Item, ...], prefix_tids: Set[int], suffix) -> None:
+        for index, (item, tids) in enumerate(suffix):
+            if len(results) >= max_itemsets:
+                return
+            joined = prefix_tids & tids if prefix else set(tids)
+            if len(joined) < min_support:
+                continue
+            itemset = prefix + (item,)
+            results.append((frozenset(itemset), len(joined)))
+            if len(itemset) < max_size:
+                recurse(itemset, joined, suffix[index + 1 :])
+
+    recurse((), set(), items)
+    return results

@@ -1,0 +1,171 @@
+"""SLIM: directly mining descriptive patterns (Smets & Vreeken, 2012).
+
+SLIM is the on-the-fly variant of Krimp that inspired CSPM's candidate
+generation (paper, Section II): instead of a pre-mined candidate
+collection, each round considers *pairwise unions* of code table
+elements, ranked by an estimated gain from their co-usage in the
+current cover, and accepts the best union that actually lowers the
+total description length.
+
+This implementation follows that loop:
+
+1. cover the database, count pairwise co-usage of cover elements;
+2. estimate each union's gain from usage counts alone (cheap);
+3. try candidates in descending estimated gain; accept the first whose
+   *actual* recomputed DL improves, then repeat;
+4. stop when no candidate improves.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Hashable, List, Tuple
+
+from repro.itemsets.code_table import ItemsetCodeTable, _lex_key
+from repro.itemsets.transactions import TransactionDatabase
+
+Item = Hashable
+Itemset = FrozenSet[Item]
+
+
+def _xlog2x(x: float) -> float:
+    if x <= 0:
+        return 0.0
+    return x * math.log2(x)
+
+
+@dataclass
+class SlimReport:
+    """Outcome of a SLIM run."""
+
+    code_table: ItemsetCodeTable
+    initial_bits: float = 0.0
+    final_bits: float = 0.0
+    rounds: int = 0
+    accepted: List[Itemset] = field(default_factory=list)
+
+    @property
+    def compression_ratio(self) -> float:
+        if self.initial_bits <= 0:
+            return 1.0
+        return self.final_bits / self.initial_bits
+
+
+class SlimMiner:
+    """On-the-fly MDL itemset mining by pairwise code-table unions.
+
+    Parameters
+    ----------
+    max_rounds:
+        Safety cap on accepted candidates (``None`` = to convergence).
+    max_trials_per_round:
+        How many top estimated candidates to verify exactly per round
+        before declaring convergence.
+    """
+
+    def __init__(self, max_rounds: int = None, max_trials_per_round: int = 25) -> None:
+        self.max_rounds = max_rounds
+        self.max_trials_per_round = max_trials_per_round
+
+    def fit(self, database: TransactionDatabase) -> SlimReport:
+        """Run SLIM and return the report (with the final code table)."""
+        code_table = ItemsetCodeTable(database)
+        report = SlimReport(code_table=code_table)
+        best_bits = code_table.total_bits()
+        report.initial_bits = best_bits
+        while self.max_rounds is None or report.rounds < self.max_rounds:
+            improved = False
+            for union in self._ranked_candidates(code_table):
+                if union in code_table:
+                    continue
+                code_table.add(union)
+                bits = code_table.total_bits()
+                if bits < best_bits - 1e-9:
+                    best_bits = bits
+                    report.accepted.append(union)
+                    report.rounds += 1
+                    improved = True
+                    break
+                code_table.remove(union)
+            if not improved:
+                break
+        report.final_bits = best_bits
+        return report
+
+    # ------------------------------------------------------------------
+
+    def _ranked_candidates(self, code_table: ItemsetCodeTable) -> List[Itemset]:
+        """Top candidate unions by estimated gain (desc)."""
+        co_usage = self._co_usage(code_table)
+        usages = code_table.usages()
+        total_usage = sum(usages.values())
+        scored: List[Tuple[float, Tuple, Itemset]] = []
+        for (x, y), xy in co_usage.items():
+            if xy < 2:
+                continue
+            estimate = self._estimated_gain(usages[x], usages[y], xy, total_usage)
+            if estimate <= 0:
+                continue
+            union = x | y
+            scored.append((estimate, _lex_key(union), union))
+        scored.sort(key=lambda entry: (-entry[0], entry[1]))
+        seen = set()
+        ranked = []
+        for _estimate, _key, union in scored:
+            if union in seen:
+                continue
+            seen.add(union)
+            ranked.append(union)
+            if len(ranked) >= self.max_trials_per_round:
+                break
+        return ranked
+
+    @staticmethod
+    def _co_usage(code_table: ItemsetCodeTable) -> Dict[Tuple[Itemset, Itemset], int]:
+        """How often two cover elements co-occur in a transaction cover."""
+        counts: Dict[Tuple[Itemset, Itemset], int] = {}
+        for cover in code_table.covers():
+            ordered = sorted(cover, key=_lex_key)
+            for i, x in enumerate(ordered):
+                for y in ordered[i + 1 :]:
+                    counts[(x, y)] = counts.get((x, y), 0) + 1
+        return counts
+
+    @staticmethod
+    def _estimated_gain(x_usage: int, y_usage: int, xy: int, total: int) -> float:
+        """Estimated data-cost delta of adding ``x | y`` (bits saved).
+
+        Assumes the union takes over all ``xy`` co-usages, so
+        ``x``/``y`` usages drop by ``xy`` and the total usage drops by
+        ``xy`` as well — the same accounting that is exact in CSPM's
+        inverted database (Eq. 9-15).
+        """
+        new_total = total - xy
+        old_cost = (
+            _xlog2x(total)
+            - _xlog2x(x_usage)
+            - _xlog2x(y_usage)
+        )
+        new_cost = (
+            _xlog2x(new_total)
+            - _xlog2x(x_usage - xy)
+            - _xlog2x(y_usage - xy)
+            - _xlog2x(xy)
+        )
+        return old_cost - new_cost
+
+
+def slim_on_graph(graph, **kwargs) -> SlimReport:
+    """Run SLIM on an attributed graph, the way Table III's baseline does.
+
+    Each adjacency-list tuple (a star) becomes one transaction holding
+    the attribute values of the core and its leaves.
+    """
+    transactions = []
+    for vertex in graph.vertices():
+        values = set(graph.attributes_of(vertex)) | set(graph.neighbor_values(vertex))
+        if values:
+            transactions.append(values)
+    database = TransactionDatabase(transactions)
+    return SlimMiner(**kwargs).fit(database)

@@ -1,0 +1,70 @@
+"""Transaction databases for the itemset miners."""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, FrozenSet, Hashable, Iterable, Iterator, List, Set
+
+from repro.errors import MiningError
+
+Item = Hashable
+Itemset = FrozenSet[Item]
+
+
+class TransactionDatabase:
+    """An immutable list of transactions (sets of items).
+
+    Keeps the vertical representation (item -> transaction ids) used by
+    support counting and the Eclat candidate miner.
+    """
+
+    def __init__(self, transactions: Iterable[Iterable[Item]]) -> None:
+        self._transactions: List[Itemset] = [
+            frozenset(t) for t in transactions
+        ]
+        if not self._transactions:
+            raise MiningError("transaction database is empty")
+        self._tidlists: Dict[Item, Set[int]] = {}
+        for tid, transaction in enumerate(self._transactions):
+            for item in transaction:
+                self._tidlists.setdefault(item, set()).add(tid)
+        if not self._tidlists:
+            raise MiningError("all transactions are empty")
+
+    def __len__(self) -> int:
+        return len(self._transactions)
+
+    def __iter__(self) -> Iterator[Itemset]:
+        return iter(self._transactions)
+
+    def __getitem__(self, tid: int) -> Itemset:
+        return self._transactions[tid]
+
+    @property
+    def items(self) -> List[Item]:
+        """All distinct items, in deterministic order."""
+        return sorted(self._tidlists, key=repr)
+
+    def item_frequencies(self) -> Counter:
+        """Item -> number of transactions containing it."""
+        return Counter({item: len(tids) for item, tids in self._tidlists.items()})
+
+    def total_item_occurrences(self) -> int:
+        return sum(len(t) for t in self._transactions)
+
+    def tidlist(self, item: Item) -> FrozenSet[int]:
+        return frozenset(self._tidlists.get(item, ()))
+
+    def support(self, itemset: Iterable[Item]) -> int:
+        """Number of transactions containing every item of ``itemset``."""
+        tids: Set[int] = None  # type: ignore[assignment]
+        for item in itemset:
+            item_tids = self._tidlists.get(item)
+            if not item_tids:
+                return 0
+            tids = set(item_tids) if tids is None else tids & item_tids
+            if not tids:
+                return 0
+        if tids is None:
+            return len(self._transactions)
+        return len(tids)

@@ -1,0 +1,41 @@
+"""A small numpy reverse-mode autograd substrate with graph layers.
+
+The paper's Table IV evaluates CSPM as a booster for node attribute
+completion models (NeighAggre, VAE, GCN, GAT, GraphSAGE, SAT).  No GPU
+deep-learning stack is available offline, so this package implements
+the needed machinery from scratch on numpy:
+
+* :mod:`repro.nn.autograd` — a reverse-mode ``Tensor``;
+* :mod:`repro.nn.layers` — modules (Linear, GCN/GAT/SAGE convolutions);
+* :mod:`repro.nn.optim` — SGD and Adam;
+* :mod:`repro.nn.losses` — the losses used by the completion task;
+* :mod:`repro.nn.models` — the six Table IV baselines.
+"""
+
+from repro.nn.autograd import Tensor, no_grad
+from repro.nn.layers import (
+    GATConv,
+    GCNConv,
+    Linear,
+    Module,
+    SAGEConv,
+    Sequential,
+)
+from repro.nn.losses import bce_with_logits, gaussian_kl, mse
+from repro.nn.optim import SGD, Adam
+
+__all__ = [
+    "Adam",
+    "GATConv",
+    "GCNConv",
+    "Linear",
+    "Module",
+    "SAGEConv",
+    "SGD",
+    "Sequential",
+    "Tensor",
+    "bce_with_logits",
+    "gaussian_kl",
+    "mse",
+    "no_grad",
+]

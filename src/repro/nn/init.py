@@ -1,0 +1,24 @@
+"""Weight initialisers for the neural substrate."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.autograd import Tensor
+
+
+def glorot(fan_in: int, fan_out: int, rng: np.random.Generator) -> Tensor:
+    """Glorot/Xavier uniform initialisation."""
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    data = rng.uniform(-limit, limit, size=(fan_in, fan_out))
+    return Tensor(data, requires_grad=True)
+
+
+def he(fan_in: int, fan_out: int, rng: np.random.Generator) -> Tensor:
+    """He normal initialisation (for ReLU stacks)."""
+    data = rng.normal(0.0, np.sqrt(2.0 / fan_in), size=(fan_in, fan_out))
+    return Tensor(data, requires_grad=True)
+
+
+def zeros(*shape: int) -> Tensor:
+    return Tensor(np.zeros(shape), requires_grad=True)

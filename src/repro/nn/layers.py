@@ -1,0 +1,246 @@
+"""Neural modules: linear layers and graph convolutions.
+
+The graph layers operate on dense node-feature matrices and a fixed
+graph structure prepared once per graph:
+
+* :class:`GCNConv` uses the symmetrically normalised adjacency
+  ``D^-1/2 (A + I) D^-1/2`` (Kipf & Welling);
+* :class:`SAGEConv` concatenates self features with mean-aggregated
+  neighbour features (Hamilton et al.);
+* :class:`GATConv` computes masked additive attention over edges
+  (Velickovic et al.), dense with ``-inf`` masking off-edges.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ModelError
+from repro.nn import init
+from repro.nn.autograd import Tensor, concat
+
+
+class Module:
+    """Base class: recursive parameter collection and train/eval mode."""
+
+    def __init__(self) -> None:
+        self.training = True
+
+    def parameters(self) -> Iterator[Tensor]:
+        seen = set()
+        for value in self.__dict__.values():
+            if isinstance(value, Tensor) and value.requires_grad:
+                if id(value) not in seen:
+                    seen.add(id(value))
+                    yield value
+            elif isinstance(value, Module):
+                yield from value.parameters()
+            elif isinstance(value, (list, tuple)):
+                for item in value:
+                    if isinstance(item, Module):
+                        yield from item.parameters()
+                    elif isinstance(item, Tensor) and item.requires_grad:
+                        if id(item) not in seen:
+                            seen.add(id(item))
+                            yield item
+
+    def zero_grad(self) -> None:
+        for parameter in self.parameters():
+            parameter.zero_grad()
+
+    def train(self) -> "Module":
+        self._set_mode(True)
+        return self
+
+    def eval(self) -> "Module":
+        self._set_mode(False)
+        return self
+
+    def _set_mode(self, training: bool) -> None:
+        self.training = training
+        for value in self.__dict__.values():
+            if isinstance(value, Module):
+                value._set_mode(training)
+            elif isinstance(value, (list, tuple)):
+                for item in value:
+                    if isinstance(item, Module):
+                        item._set_mode(training)
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+    def forward(self, *args, **kwargs):
+        raise NotImplementedError
+
+
+class Linear(Module):
+    """A dense affine layer ``x @ W + b``."""
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        rng: np.random.Generator,
+        bias: bool = True,
+    ) -> None:
+        super().__init__()
+        self.weight = init.glorot(in_features, out_features, rng)
+        self.bias = init.zeros(out_features) if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = x @ self.weight
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+
+class Dropout(Module):
+    """Inverted dropout; identity in eval mode."""
+
+    def __init__(self, rate: float, rng: np.random.Generator) -> None:
+        super().__init__()
+        if not 0.0 <= rate < 1.0:
+            raise ModelError("dropout rate must be in [0, 1)")
+        self.rate = rate
+        self._rng = rng
+
+    def forward(self, x: Tensor) -> Tensor:
+        if not self.training or self.rate == 0.0:
+            return x
+        keep = 1.0 - self.rate
+        mask = self._rng.random(x.shape) < keep
+        return x * Tensor(mask / keep)
+
+
+class ReLU(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return x.relu()
+
+
+class Sequential(Module):
+    """Apply modules in order."""
+
+    def __init__(self, *modules: Module) -> None:
+        super().__init__()
+        self.modules = list(modules)
+
+    def forward(self, x: Tensor) -> Tensor:
+        for module in self.modules:
+            x = module(x)
+        return x
+
+
+# ----------------------------------------------------------------------
+# Graph structure helpers
+# ----------------------------------------------------------------------
+
+
+def normalized_adjacency(adjacency: np.ndarray) -> np.ndarray:
+    """``D^-1/2 (A + I) D^-1/2`` for GCN propagation."""
+    a_hat = adjacency + np.eye(adjacency.shape[0])
+    degree = a_hat.sum(axis=1)
+    inv_sqrt = 1.0 / np.sqrt(np.maximum(degree, 1e-12))
+    return a_hat * inv_sqrt[:, None] * inv_sqrt[None, :]
+
+
+def mean_adjacency(adjacency: np.ndarray) -> np.ndarray:
+    """Row-normalised adjacency (mean neighbour aggregation)."""
+    degree = adjacency.sum(axis=1)
+    scale = np.divide(
+        1.0, degree, out=np.zeros_like(degree, dtype=float), where=degree > 0
+    )
+    return adjacency * scale[:, None]
+
+
+class GCNConv(Module):
+    """One graph-convolution layer: ``A_norm @ x @ W + b``."""
+
+    def __init__(
+        self, in_features: int, out_features: int, rng: np.random.Generator
+    ) -> None:
+        super().__init__()
+        self.linear = Linear(in_features, out_features, rng)
+
+    def forward(self, x: Tensor, a_norm: Tensor) -> Tensor:
+        return a_norm @ self.linear(x)
+
+
+class SAGEConv(Module):
+    """GraphSAGE mean aggregator: ``[x || mean(x_neigh)] @ W``."""
+
+    def __init__(
+        self, in_features: int, out_features: int, rng: np.random.Generator
+    ) -> None:
+        super().__init__()
+        self.linear = Linear(2 * in_features, out_features, rng)
+
+    def forward(self, x: Tensor, a_mean: Tensor) -> Tensor:
+        aggregated = a_mean @ x
+        return self.linear(concat([x, aggregated], axis=1))
+
+
+class GATConv(Module):
+    """Dense masked graph attention (single head).
+
+    Attention logits ``e_ij = LeakyReLU(a_src . Wh_i + a_dst . Wh_j)``
+    are masked to the (self-looped) adjacency and softmax-normalised
+    per row.
+    """
+
+    def __init__(
+        self, in_features: int, out_features: int, rng: np.random.Generator
+    ) -> None:
+        super().__init__()
+        self.linear = Linear(in_features, out_features, rng, bias=False)
+        self.att_src = init.glorot(out_features, 1, rng)
+        self.att_dst = init.glorot(out_features, 1, rng)
+
+    def forward(self, x: Tensor, adjacency_mask: np.ndarray) -> Tensor:
+        h = self.linear(x)
+        src = h @ self.att_src  # (n, 1)
+        dst = h @ self.att_dst  # (n, 1)
+        logits = (src + dst.T).leaky_relu(0.2)
+        off_edges = ~adjacency_mask
+        attention = logits.masked_fill(off_edges, -1e30).softmax(axis=1)
+        return attention @ h
+
+
+def adjacency_with_self_loops(adjacency: np.ndarray) -> np.ndarray:
+    """Boolean mask ``A + I`` for attention layers."""
+    mask = adjacency.astype(bool).copy()
+    np.fill_diagonal(mask, True)
+    return mask
+
+
+class MLP(Module):
+    """A plain multi-layer perceptron with ReLU activations."""
+
+    def __init__(
+        self,
+        sizes: Sequence[int],
+        rng: np.random.Generator,
+        dropout: float = 0.0,
+        final_activation: Optional[str] = None,
+    ) -> None:
+        super().__init__()
+        if len(sizes) < 2:
+            raise ModelError("MLP needs at least input and output sizes")
+        layers: List[Module] = []
+        for i in range(len(sizes) - 1):
+            layers.append(Linear(sizes[i], sizes[i + 1], rng))
+            if i < len(sizes) - 2:
+                layers.append(ReLU())
+                if dropout > 0:
+                    layers.append(Dropout(dropout, rng))
+        self.body = Sequential(*layers)
+        self.final_activation = final_activation
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = self.body(x)
+        if self.final_activation == "sigmoid":
+            return out.sigmoid()
+        if self.final_activation == "tanh":
+            return out.tanh()
+        return out

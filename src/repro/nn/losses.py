@@ -1,0 +1,60 @@
+"""Losses used by the attribute-completion models."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.nn.autograd import Tensor
+
+
+def _as_tensor(value) -> Tensor:
+    return value if isinstance(value, Tensor) else Tensor(value)
+
+
+def _masked_mean(per_element: Tensor, mask: Optional[np.ndarray]) -> Tensor:
+    """Mean of ``per_element``; ``mask`` selects rows (1 = keep)."""
+    if mask is None:
+        return per_element.mean()
+    mask = np.asarray(mask, dtype=float)
+    if mask.ndim == 1:
+        mask = mask[:, None]
+    weights = np.broadcast_to(mask, per_element.shape)
+    total = per_element * Tensor(weights)
+    count = float(weights.sum())
+    return total.sum() * (1.0 / max(count, 1.0))
+
+
+def _abs(x: Tensor) -> Tensor:
+    """``|x|`` with subgradient ``sign(x)``."""
+    return x * Tensor(np.sign(x.data))
+
+
+def bce_with_logits(
+    logits: Tensor, targets, mask: Optional[np.ndarray] = None
+) -> Tensor:
+    """Numerically-stable binary cross-entropy from logits.
+
+    Computes ``max(x, 0) - x*t + log(1 + exp(-|x|))`` per element and
+    averages; ``mask`` selects the rows (e.g. train nodes) included in
+    the mean.
+    """
+    targets = _as_tensor(targets)
+    positive_part = logits.clip(0.0, np.inf)
+    log_term = ((-_abs(logits)).exp() + 1.0).log()
+    per_element = positive_part - logits * targets + log_term
+    return _masked_mean(per_element, mask)
+
+
+def mse(prediction: Tensor, target, mask: Optional[np.ndarray] = None) -> Tensor:
+    """Mean squared error, optionally row-masked."""
+    target = _as_tensor(target)
+    diff = prediction - target
+    return _masked_mean(diff * diff, mask)
+
+
+def gaussian_kl(mu: Tensor, logvar: Tensor) -> Tensor:
+    """``KL(q(z|x) || N(0, I))`` for a diagonal Gaussian, batch mean."""
+    kl = (mu * mu + logvar.exp() - logvar - 1.0) * 0.5
+    return kl.sum(axis=1).mean()

@@ -1,0 +1,28 @@
+"""Node attribute completion baselines (Table IV).
+
+All six models share the :class:`~repro.nn.models.base.CompletionModel`
+interface: ``fit(adjacency, features, train_mask)`` then ``predict()``
+returning a dense ``(num_nodes, num_values)`` score matrix.  ``features``
+holds the observed binary attribute indicators with all-zero rows for
+attribute-missing nodes — the standard protocol of the SAT paper the
+evaluation follows.
+"""
+
+from repro.nn.models.base import CompletionModel, make_model
+from repro.nn.models.gat import GATCompleter
+from repro.nn.models.gcn import GCNCompleter
+from repro.nn.models.neighaggre import NeighAggre
+from repro.nn.models.sage import GraphSAGECompleter
+from repro.nn.models.sat import SATCompleter
+from repro.nn.models.vae import VAECompleter
+
+__all__ = [
+    "CompletionModel",
+    "GATCompleter",
+    "GCNCompleter",
+    "GraphSAGECompleter",
+    "NeighAggre",
+    "SATCompleter",
+    "VAECompleter",
+    "make_model",
+]

@@ -1,0 +1,82 @@
+"""Shared interface and factory for the completion baselines."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+import numpy as np
+
+from repro.errors import ModelError
+
+
+class CompletionModel:
+    """Base class of all attribute-completion models.
+
+    Subclasses implement :meth:`fit` (which may be a no-op for
+    non-parametric baselines) and :meth:`predict`.
+    """
+
+    name = "base"
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = seed
+        self._rng = np.random.default_rng(seed)
+        self._fitted = False
+
+    def fit(
+        self,
+        adjacency: np.ndarray,
+        features: np.ndarray,
+        train_mask: np.ndarray,
+    ) -> "CompletionModel":
+        """Train on the observed (train-mask) attribute rows."""
+        raise NotImplementedError
+
+    def predict(self) -> np.ndarray:
+        """Dense ``(num_nodes, num_values)`` attribute scores."""
+        raise NotImplementedError
+
+    def _check_inputs(
+        self, adjacency: np.ndarray, features: np.ndarray, train_mask: np.ndarray
+    ) -> None:
+        n = adjacency.shape[0]
+        if adjacency.shape != (n, n):
+            raise ModelError("adjacency must be square")
+        if features.shape[0] != n:
+            raise ModelError("features row count must match adjacency")
+        if train_mask.shape != (n,):
+            raise ModelError("train_mask must be one flag per node")
+        if not train_mask.any():
+            raise ModelError("train_mask selects no nodes")
+
+
+_REGISTRY: Dict[str, Callable[..., CompletionModel]] = {}
+
+
+def register(name: str):
+    """Class decorator adding a model to the factory registry."""
+
+    def decorate(cls):
+        cls.name = name
+        _REGISTRY[name] = cls
+        return cls
+
+    return decorate
+
+
+def make_model(name: str, seed: int = 0, **kwargs) -> CompletionModel:
+    """Instantiate a registered completion model by name."""
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise ModelError(f"unknown model {name!r}; known: {known}") from None
+    return factory(seed=seed, **kwargs)
+
+
+def model_names():
+    """All registered model names, in Table IV order when possible."""
+    preferred = ["neighaggre", "vae", "gcn", "gat", "graphsage", "sat"]
+    ordered = [name for name in preferred if name in _REGISTRY]
+    ordered.extend(sorted(set(_REGISTRY) - set(ordered)))
+    return ordered

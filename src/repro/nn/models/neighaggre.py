@@ -1,0 +1,40 @@
+"""NeighAggre: non-parametric neighbour aggregation (Simsek & Jensen).
+
+The weakest Table IV baseline: a node's attribute scores are the mean
+of the observed attribute indicator vectors of its neighbours.
+Attribute-missing neighbours contribute nothing.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.models.base import CompletionModel, register
+
+
+@register("neighaggre")
+class NeighAggre(CompletionModel):
+    """Mean of observed neighbour attribute vectors."""
+
+    def __init__(self, seed: int = 0) -> None:
+        super().__init__(seed)
+        self._scores: np.ndarray = None
+
+    def fit(
+        self,
+        adjacency: np.ndarray,
+        features: np.ndarray,
+        train_mask: np.ndarray,
+    ) -> "NeighAggre":
+        self._check_inputs(adjacency, features, train_mask)
+        observed = adjacency * train_mask[None, :].astype(float)
+        counts = observed.sum(axis=1, keepdims=True)
+        scale = np.divide(1.0, counts, out=np.zeros_like(counts), where=counts > 0)
+        self._scores = (observed @ features) * scale
+        self._fitted = True
+        return self
+
+    def predict(self) -> np.ndarray:
+        if not self._fitted:
+            raise RuntimeError("fit() must be called before predict()")
+        return self._scores

@@ -1,0 +1,87 @@
+"""Optimisers for the neural substrate."""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+import numpy as np
+
+from repro.errors import ModelError
+from repro.nn.autograd import Tensor
+
+
+class Optimizer:
+    """Base optimiser over a fixed parameter list."""
+
+    def __init__(self, parameters: Iterable[Tensor], lr: float) -> None:
+        self.parameters: List[Tensor] = list(parameters)
+        if not self.parameters:
+            raise ModelError("optimizer received no parameters")
+        if lr <= 0:
+            raise ModelError("learning rate must be positive")
+        self.lr = lr
+
+    def zero_grad(self) -> None:
+        for parameter in self.parameters:
+            parameter.zero_grad()
+
+    def step(self) -> None:
+        raise NotImplementedError
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional momentum."""
+
+    def __init__(
+        self, parameters: Iterable[Tensor], lr: float = 0.01, momentum: float = 0.0
+    ) -> None:
+        super().__init__(parameters, lr)
+        self.momentum = momentum
+        self._velocity = [np.zeros_like(p.data) for p in self.parameters]
+
+    def step(self) -> None:
+        for parameter, velocity in zip(self.parameters, self._velocity):
+            if parameter.grad is None:
+                continue
+            if self.momentum > 0:
+                velocity *= self.momentum
+                velocity += parameter.grad
+                parameter.data -= self.lr * velocity
+            else:
+                parameter.data -= self.lr * parameter.grad
+
+
+class Adam(Optimizer):
+    """Adam (Kingma & Ba, 2015) with bias correction."""
+
+    def __init__(
+        self,
+        parameters: Iterable[Tensor],
+        lr: float = 0.01,
+        betas: tuple = (0.9, 0.999),
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+    ) -> None:
+        super().__init__(parameters, lr)
+        self.beta1, self.beta2 = betas
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self._m = [np.zeros_like(p.data) for p in self.parameters]
+        self._v = [np.zeros_like(p.data) for p in self.parameters]
+        self._t = 0
+
+    def step(self) -> None:
+        self._t += 1
+        for parameter, m, v in zip(self.parameters, self._m, self._v):
+            grad = parameter.grad
+            if grad is None:
+                continue
+            if self.weight_decay > 0:
+                grad = grad + self.weight_decay * parameter.data
+            m *= self.beta1
+            m += (1 - self.beta1) * grad
+            v *= self.beta2
+            v += (1 - self.beta2) * grad**2
+            m_hat = m / (1 - self.beta1**self._t)
+            v_hat = v / (1 - self.beta2**self._t)
+            parameter.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)

@@ -1,0 +1,58 @@
+"""Shared fixtures.
+
+Heavier artefacts (mined results on reference graphs) are session-
+scoped: they are deterministic, read-only in tests, and expensive
+enough that rebuilding them per test would dominate the suite runtime.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.code_table import CoreCodeTable, StandardCodeTable
+from repro.core.inverted_db import InvertedDatabase
+from repro.core.miner import CSPM
+from repro.graphs.builders import paper_running_example
+from repro.graphs.generators import PlantedAStar, planted_astar_graph
+
+
+@pytest.fixture()
+def paper_graph():
+    """The Fig. 1 running example (fresh per test: it is tiny)."""
+    return paper_running_example()
+
+
+@pytest.fixture()
+def paper_db(paper_graph):
+    return InvertedDatabase.from_graph(paper_graph)
+
+
+@pytest.fixture()
+def paper_tables(paper_graph):
+    return (
+        StandardCodeTable.from_graph(paper_graph),
+        CoreCodeTable.singletons_from_graph(paper_graph),
+    )
+
+
+@pytest.fixture(scope="session")
+def planted():
+    """A planted graph with known correlations plus its ground truth."""
+    graph, truth = planted_astar_graph(
+        num_vertices=80,
+        num_edges=200,
+        patterns=[
+            PlantedAStar("core-a", ("leaf-a1", "leaf-a2"), strength=0.95),
+            PlantedAStar("core-b", ("leaf-b1", "leaf-b2", "leaf-b3"), strength=0.9),
+        ],
+        noise_values=("noise-1", "noise-2"),
+        noise_rate=0.15,
+        seed=42,
+    )
+    return graph, truth
+
+
+@pytest.fixture(scope="session")
+def planted_result(planted):
+    graph, _truth = planted
+    return CSPM().fit(graph)

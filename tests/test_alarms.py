@@ -1,0 +1,195 @@
+"""Tests for the alarm-correlation application (rules, simulator,
+ACOR, CSPM extraction, coverage)."""
+
+import pytest
+
+from repro.alarms import (
+    AlarmEvent,
+    PairRule,
+    acor_rank_pairs,
+    coverage_curve,
+    cspm_rank_pairs,
+    default_rule_library,
+    simulate_alarms,
+)
+from repro.alarms.analysis import area_under_coverage
+from repro.errors import DatasetError
+
+
+@pytest.fixture(scope="module")
+def library():
+    return default_rule_library(seed=0)
+
+
+@pytest.fixture(scope="module")
+def simulation(library):
+    return simulate_alarms(
+        library,
+        num_devices=60,
+        num_windows=120,
+        causes_per_window=2.0,
+        propagation=0.85,
+        neighbour_fraction=0.9,
+        num_noise_types=10,
+        noise_rate=1.0,
+        derivative_flap_rate=1.0,
+        cascade_probability=0.3,
+        window_split_probability=0.2,
+        seed=3,
+    )
+
+
+class TestRuleLibrary:
+    def test_paper_shape(self, library):
+        assert len(library.rules) == 11
+        assert library.num_pair_rules == 121
+
+    def test_pair_rules_are_cause_derivative(self, library):
+        causes = {rule.cause for rule in library.rules}
+        for pair in library.pair_rules():
+            assert pair.cause in causes
+            assert pair.derivative not in causes
+
+    def test_derivatives_unique_across_rules(self, library):
+        seen = set()
+        for rule in library.rules:
+            for derivative in rule.derivatives:
+                assert derivative not in seen
+                seen.add(derivative)
+
+    def test_custom_sizes(self):
+        library = default_rule_library(num_rules=3, total_pairs=10)
+        assert len(library.rules) == 3
+        assert library.num_pair_rules == 10
+
+    def test_invalid_sizes(self):
+        with pytest.raises(DatasetError):
+            default_rule_library(num_rules=0)
+        with pytest.raises(DatasetError):
+            default_rule_library(num_rules=5, total_pairs=3)
+
+
+class TestSimulator:
+    def test_events_reference_known_types(self, library, simulation):
+        known = set(library.alarm_types()) | set(simulation.noise_types)
+        assert {event.alarm_type for event in simulation.events} <= known
+
+    def test_windows_in_range(self, simulation):
+        assert all(
+            0 <= event.window < simulation.num_windows
+            for event in simulation.events
+        )
+
+    def test_causes_produce_derivatives_nearby(self, library, simulation):
+        """For each cause firing, most derivatives appear on the same
+        or an adjacent device within a window of the firing."""
+        rule = library.rules[0]
+        by_window = {}
+        for event in simulation.events:
+            by_window.setdefault(event.window, []).append(event)
+        checked = 0
+        nearby = 0
+        for event in simulation.events:
+            if event.alarm_type != rule.cause:
+                continue
+            neighbourhood = {event.device} | simulation.topology[event.device]
+            local = [
+                other
+                for w in (event.window, event.window + 1)
+                for other in by_window.get(w, [])
+                if other.device in neighbourhood
+            ]
+            derivatives = {
+                o.alarm_type for o in local if o.alarm_type in rule.derivatives
+            }
+            checked += 1
+            nearby += len(derivatives) / len(rule.derivatives)
+        assert checked > 0
+        assert nearby / checked > 0.5
+
+    def test_attributed_graph_round_trip(self, simulation):
+        graph = simulation.to_attributed_graph()
+        assert graph.num_vertices > 0
+        # Every vertex's attributes come from events of its window.
+        events = {}
+        for event in simulation.events:
+            events.setdefault((event.window, event.device), set()).add(
+                event.alarm_type
+            )
+        for vertex in graph.vertices():
+            assert graph.attributes_of(vertex) == frozenset(events[vertex])
+
+    def test_simulator_guards(self, library):
+        with pytest.raises(DatasetError):
+            simulate_alarms(library, num_devices=1)
+        with pytest.raises(DatasetError):
+            simulate_alarms(library, num_windows=0)
+
+    def test_seeded_determinism(self, library):
+        first = simulate_alarms(library, num_devices=30, num_windows=20, seed=9)
+        second = simulate_alarms(library, num_devices=30, num_windows=20, seed=9)
+        assert first.events == second.events
+
+
+class TestRankings:
+    def test_acor_emits_scored_pairs(self, simulation):
+        ranked = acor_rank_pairs(simulation)
+        assert ranked
+        scores = [score for _pair, score in ranked]
+        assert scores == sorted(scores, reverse=True)
+        assert all(0 < score <= 1 for score in scores)
+
+    def test_acor_finds_true_rules(self, library, simulation):
+        ranked = acor_rank_pairs(simulation)
+        truth = set(library.pair_rules())
+        found = {pair for pair, _score in ranked}
+        assert len(truth & found) > len(truth) * 0.5
+
+    def test_cspm_finds_true_rules(self, library, simulation):
+        ranked = cspm_rank_pairs(simulation)
+        truth = set(library.pair_rules())
+        found = {pair for pair, _score in ranked}
+        assert len(truth & found) > len(truth) * 0.5
+
+    def test_cspm_scores_descend(self, simulation):
+        ranked = cspm_rank_pairs(simulation)
+        scores = [score for _pair, score in ranked]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_max_pairs_truncates(self, simulation):
+        assert len(cspm_rank_pairs(simulation, max_pairs=10)) == 10
+        assert len(acor_rank_pairs(simulation, max_pairs=10)) == 10
+
+
+class TestCoverage:
+    def test_curve_monotone_and_bounded(self, library, simulation):
+        ranked = cspm_rank_pairs(simulation)
+        curve = coverage_curve(ranked, library.pair_rules(), [10, 100, 1000, 10000])
+        assert all(0.0 <= v <= 1.0 for v in curve)
+        assert curve == sorted(curve)
+
+    def test_full_ranking_reaches_found_fraction(self, library, simulation):
+        ranked = cspm_rank_pairs(simulation)
+        truth = library.pair_rules()
+        found = {pair for pair, _ in ranked}
+        expected = len(set(truth) & found) / len(truth)
+        (coverage,) = coverage_curve(ranked, truth, [len(ranked)])
+        assert coverage == pytest.approx(expected)
+
+    def test_empty_truth_rejected(self):
+        with pytest.raises(ValueError):
+            coverage_curve([(PairRule("a", "b"), 1.0)], [], [1])
+
+    def test_area_summary(self):
+        assert area_under_coverage([0.0, 0.5, 1.0]) == pytest.approx(0.5)
+        assert area_under_coverage([]) == 0.0
+
+
+class TestTypes:
+    def test_pair_rule_str(self):
+        assert str(PairRule("x", "y")) == "x -> y"
+
+    def test_alarm_event_frozen(self):
+        event = AlarmEvent(1, 2, "z")
+        with pytest.raises(Exception):
+            event.window = 5

@@ -1,0 +1,66 @@
+"""Edge-case tests for the AStar pattern type."""
+
+import pytest
+
+from repro.core.astar import AStar
+from repro.graphs.attributed_graph import AttributedGraph
+
+
+@pytest.fixture()
+def graph():
+    return AttributedGraph.from_edges(
+        [(0, 1), (1, 2)],
+        {0: {"x"}, 1: {"y"}, 2: {"x", "z"}},
+    )
+
+
+class TestMatching:
+    def test_requires_all_core_values(self, graph):
+        star = AStar(coreset={"x", "z"}, leafset={"y"})
+        assert star.matches_at(graph, 2)
+        assert not star.matches_at(graph, 0)
+
+    def test_leaf_values_may_split_across_neighbours(self, graph):
+        star = AStar(coreset={"y"}, leafset={"x", "z"})
+        assert star.matches_at(graph, 1)
+
+    def test_missing_leaf_value_fails(self, graph):
+        star = AStar(coreset={"x"}, leafset={"z"})
+        assert not star.matches_at(graph, 0)  # neighbour 1 has only y
+
+    def test_empty_leafset_matches_trivially(self, graph):
+        star = AStar(coreset={"x"}, leafset=set())
+        assert star.matches_at(graph, 0)
+
+    def test_isolated_vertex_only_matches_empty_leafset(self):
+        isolated = AttributedGraph()
+        isolated.add_vertex(9)
+        isolated.set_attributes(9, {"x"})
+        assert AStar(coreset={"x"}, leafset=set()).matches_at(isolated, 9)
+        assert not AStar(coreset={"x"}, leafset={"y"}).matches_at(isolated, 9)
+
+
+class TestValueSemantics:
+    def test_sets_coerced_to_frozensets(self):
+        star = AStar(coreset={"a"}, leafset={"b"})
+        assert isinstance(star.coreset, frozenset)
+        assert isinstance(star.leafset, frozenset)
+
+    def test_equality_ignores_code_length(self):
+        left = AStar(coreset={"a"}, leafset={"b"}, frequency=1,
+                     coreset_frequency=2, code_length=1.0)
+        right = AStar(coreset={"a"}, leafset={"b"}, frequency=1,
+                      coreset_frequency=2, code_length=9.0)
+        assert left == right
+
+    def test_hashable(self):
+        star = AStar(coreset={"a"}, leafset={"b"})
+        assert star in {star}
+
+    def test_confidence_degenerate(self):
+        assert AStar(coreset={"a"}, leafset={"b"}).confidence == 0.0
+
+    def test_sort_key_orders_by_code_then_sets(self):
+        short = AStar(coreset={"a"}, leafset={"b"}, code_length=1.0)
+        long = AStar(coreset={"a"}, leafset={"b"}, code_length=2.0)
+        assert short.sort_key() < long.sort_key()

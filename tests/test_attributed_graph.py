@@ -1,0 +1,135 @@
+"""Unit tests for the attributed graph substrate."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graphs.attributed_graph import AttributedGraph
+
+
+def build_triangle():
+    return AttributedGraph.from_edges(
+        edges=[(1, 2), (2, 3), (1, 3)],
+        attributes={1: {"a"}, 2: {"a", "b"}, 3: {"c"}},
+    )
+
+
+class TestConstruction:
+    def test_from_edges_counts(self):
+        graph = build_triangle()
+        assert graph.num_vertices == 3
+        assert graph.num_edges == 3
+
+    def test_from_adjacency_matches_from_edges(self):
+        adjacency = {1: [2, 3], 2: [1, 3], 3: [1, 2]}
+        attributes = {1: {"a"}, 2: {"a", "b"}, 3: {"c"}}
+        left = AttributedGraph.from_adjacency(adjacency, attributes)
+        assert left == build_triangle()
+
+    def test_attribute_only_vertices_are_isolated(self):
+        graph = AttributedGraph.from_edges([(1, 2)], {3: {"x"}})
+        assert 3 in graph
+        assert graph.degree(3) == 0
+
+    def test_duplicate_edges_collapse(self):
+        graph = AttributedGraph.from_edges([(1, 2), (2, 1), (1, 2)])
+        assert graph.num_edges == 1
+
+    def test_self_loop_rejected(self):
+        graph = AttributedGraph()
+        with pytest.raises(GraphError):
+            graph.add_edge(5, 5)
+
+    def test_networkx_round_trip(self):
+        graph = build_triangle()
+        back = AttributedGraph.from_networkx(graph.to_networkx())
+        assert back == graph
+
+
+class TestQueries:
+    def test_neighbors(self):
+        graph = build_triangle()
+        assert graph.neighbors(1) == frozenset({2, 3})
+
+    def test_unknown_vertex_raises(self):
+        graph = build_triangle()
+        with pytest.raises(GraphError):
+            graph.neighbors(99)
+        with pytest.raises(GraphError):
+            graph.attributes_of(99)
+        with pytest.raises(GraphError):
+            graph.degree(99)
+
+    def test_neighbor_values_union(self):
+        graph = build_triangle()
+        assert graph.neighbor_values(3) == frozenset({"a", "b"})
+
+    def test_edges_iterated_once(self):
+        graph = build_triangle()
+        edges = list(graph.edges())
+        assert len(edges) == 3
+        normalized = {frozenset(edge) for edge in edges}
+        assert normalized == {
+            frozenset({1, 2}),
+            frozenset({2, 3}),
+            frozenset({1, 3}),
+        }
+
+    def test_value_positions_is_mapping_table(self):
+        graph = build_triangle()
+        positions = graph.value_positions()
+        assert positions["a"] == frozenset({1, 2})
+        assert positions["b"] == frozenset({2})
+
+    def test_value_frequencies(self):
+        graph = build_triangle()
+        frequencies = graph.value_frequencies()
+        assert frequencies["a"] == 2
+        assert graph.total_value_occurrences() == 4
+
+    def test_attribute_values_universe(self):
+        assert build_triangle().attribute_values() == frozenset({"a", "b", "c"})
+
+
+class TestMutation:
+    def test_set_attributes_replaces(self):
+        graph = build_triangle()
+        graph.set_attributes(1, {"z"})
+        assert graph.attributes_of(1) == frozenset({"z"})
+
+    def test_add_attribute_accumulates(self):
+        graph = build_triangle()
+        graph.add_attribute(1, "q")
+        assert graph.attributes_of(1) == frozenset({"a", "q"})
+
+    def test_set_attributes_unknown_vertex(self):
+        graph = build_triangle()
+        with pytest.raises(GraphError):
+            graph.set_attributes(42, {"a"})
+
+
+class TestStructure:
+    def test_connectivity(self):
+        graph = build_triangle()
+        assert graph.is_connected()
+        graph.add_vertex(99)
+        assert not graph.is_connected()
+
+    def test_subgraph_induces_edges_and_attributes(self):
+        graph = build_triangle()
+        sub = graph.subgraph([1, 2])
+        assert sub.num_vertices == 2
+        assert sub.num_edges == 1
+        assert sub.attributes_of(2) == frozenset({"a", "b"})
+
+    def test_subgraph_unknown_vertex(self):
+        with pytest.raises(GraphError):
+            build_triangle().subgraph([1, 77])
+
+    def test_copy_is_independent(self):
+        graph = build_triangle()
+        clone = graph.copy()
+        clone.add_edge(1, 4)
+        clone.set_attributes(1, {"changed"})
+        assert graph.num_edges == 3
+        assert graph.attributes_of(1) == frozenset({"a"})
+        assert clone != graph

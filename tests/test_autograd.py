@@ -1,0 +1,157 @@
+"""Gradient checks and semantics tests for the numpy autograd."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError
+from repro.nn.autograd import Tensor, concat, no_grad
+
+
+def numeric_gradient(function, x, eps=1e-6):
+    grad = np.zeros_like(x)
+    it = np.nditer(x, flags=["multi_index"])
+    while not it.finished:
+        index = it.multi_index
+        x[index] += eps
+        plus = function(x)
+        x[index] -= 2 * eps
+        minus = function(x)
+        x[index] += eps
+        grad[index] = (plus - minus) / (2 * eps)
+        it.iternext()
+    return grad
+
+
+def check_gradient(build, shape, seed=0, tol=1e-6):
+    """Compare autograd and numeric gradients of a scalar function."""
+    rng = np.random.default_rng(seed)
+    x0 = rng.normal(size=shape)
+
+    def value(x_arr):
+        return build(Tensor(x_arr.copy(), requires_grad=True)).item()
+
+    x = Tensor(x0.copy(), requires_grad=True)
+    out = build(x)
+    out.backward()
+    numeric = numeric_gradient(value, x0.copy())
+    assert np.allclose(x.grad, numeric, atol=tol), (
+        f"max err {np.abs(x.grad - numeric).max()}"
+    )
+
+
+class TestElementwiseGradients:
+    def test_add_mul(self):
+        check_gradient(lambda x: (x * 3.0 + x * x).sum(), (3, 4))
+
+    def test_sub_div(self):
+        check_gradient(lambda x: ((x - 0.5) / (x * x + 2.0)).sum(), (2, 5))
+
+    def test_pow(self):
+        check_gradient(lambda x: (x**3).sum(), (4,))
+
+    def test_exp_log(self):
+        check_gradient(lambda x: ((x.exp() + 1.0).log()).sum(), (3, 3))
+
+    def test_sigmoid_tanh(self):
+        check_gradient(lambda x: (x.sigmoid() * x.tanh()).sum(), (6,))
+
+    def test_relu_and_leaky(self):
+        check_gradient(lambda x: (x.relu() + x.leaky_relu(0.1)).sum(), (10,), seed=3)
+
+    def test_clip(self):
+        check_gradient(lambda x: x.clip(-0.5, 0.5).sum(), (8,), seed=2)
+
+
+class TestShapedGradients:
+    def test_matmul(self):
+        w = np.random.default_rng(1).normal(size=(4, 2))
+        check_gradient(lambda x: (x @ Tensor(w)).sum(), (3, 4))
+
+    def test_transpose(self):
+        check_gradient(lambda x: (x.T @ x).sum(), (3, 4))
+
+    def test_broadcast_add(self):
+        bias = Tensor(np.array([1.0, -1.0, 0.5]))
+        check_gradient(lambda x: (x + bias).sum(), (4, 3))
+
+    def test_broadcast_bias_gradient(self):
+        x = Tensor(np.ones((4, 3)), requires_grad=True)
+        bias = Tensor(np.zeros(3), requires_grad=True)
+        ((x + bias) * 2.0).sum().backward()
+        assert np.allclose(bias.grad, [8.0, 8.0, 8.0])
+
+    def test_sum_axis(self):
+        check_gradient(lambda x: (x.sum(axis=0) ** 2).sum(), (5, 3))
+
+    def test_mean(self):
+        check_gradient(lambda x: x.mean() * 7.0, (4, 4))
+
+    def test_reshape(self):
+        check_gradient(lambda x: (x.reshape(6) ** 2).sum(), (2, 3))
+
+    def test_getitem_rows(self):
+        idx = np.array([0, 2])
+        check_gradient(lambda x: (x[idx] ** 2).sum(), (4, 3))
+
+    def test_getitem_repeated_rows_accumulate(self):
+        x = Tensor(np.ones((3, 2)), requires_grad=True)
+        idx = np.array([1, 1])
+        x[idx].sum().backward()
+        assert np.allclose(x.grad, [[0, 0], [2, 2], [0, 0]])
+
+    def test_softmax(self):
+        check_gradient(lambda x: (x.softmax(axis=1) ** 2).sum(), (3, 4))
+
+    def test_masked_fill(self):
+        mask = np.array([[True, False], [False, True]])
+        check_gradient(
+            lambda x: x.masked_fill(mask, -5.0).softmax(axis=1).sum(), (2, 2)
+        )
+
+    def test_concat(self):
+        def build(x):
+            return concat([x, x * 2.0], axis=1).sum()
+
+        check_gradient(build, (3, 2))
+
+
+class TestSemantics:
+    def test_no_grad_disables_graph(self):
+        with no_grad():
+            x = Tensor(np.ones(3), requires_grad=True)
+            y = x * 2.0
+        assert not y.requires_grad
+
+    def test_backward_requires_scalar(self):
+        x = Tensor(np.ones(3), requires_grad=True)
+        with pytest.raises(ModelError):
+            (x * 2.0).backward()
+
+    def test_backward_on_non_grad_tensor(self):
+        x = Tensor(np.ones(3))
+        with pytest.raises(ModelError):
+            x.backward()
+
+    def test_grad_accumulates_across_uses(self):
+        x = Tensor(np.array([2.0]), requires_grad=True)
+        y = x * 3.0 + x * 4.0
+        y.sum().backward()
+        assert np.allclose(x.grad, [7.0])
+
+    def test_detach_blocks_gradient(self):
+        x = Tensor(np.array([2.0]), requires_grad=True)
+        (x.detach() * 5.0 + x).sum().backward()
+        assert np.allclose(x.grad, [1.0])
+
+    def test_deep_chain_no_recursion_error(self):
+        x = Tensor(np.array([1.0]), requires_grad=True)
+        y = x
+        for _ in range(3000):
+            y = y + 0.001
+        y.sum().backward()
+        assert np.allclose(x.grad, [1.0])
+
+    def test_numpy_and_item(self):
+        x = Tensor([[1.0, 2.0]])
+        assert x.numpy().shape == (1, 2)
+        assert Tensor([3.0]).item() == 3.0

@@ -1,0 +1,88 @@
+"""Tests for candidate pair enumeration and the gain priority queue."""
+
+from repro.core.candidates import (
+    CandidateQueue,
+    canonical_pair,
+    enumerate_pairs,
+    leafset_sort_key,
+    pair_sort_key,
+)
+
+
+def fs(*values):
+    return frozenset(values)
+
+
+class TestOrdering:
+    def test_leafset_sort_key_deterministic(self):
+        assert leafset_sort_key(fs("b", "a")) == ("'a'", "'b'")
+
+    def test_canonical_pair_is_order_insensitive(self):
+        assert canonical_pair(fs("b"), fs("a")) == canonical_pair(fs("a"), fs("b"))
+
+    def test_enumerate_pairs_count_and_order(self):
+        leafsets = [fs("c"), fs("a"), fs("b")]
+        pairs = list(enumerate_pairs(leafsets))
+        assert len(pairs) == 3
+        assert pairs[0] == (fs("a"), fs("b"))
+        assert all(pair == canonical_pair(*pair) for pair in pairs)
+
+    def test_pair_sort_key_orders_lexicographically(self):
+        early = (fs("a"), fs("b"))
+        late = (fs("a"), fs("c"))
+        assert pair_sort_key(early) < pair_sort_key(late)
+
+
+class TestCandidateQueue:
+    def test_pop_returns_best_gain(self):
+        queue = CandidateQueue()
+        queue.set(canonical_pair(fs("a"), fs("b")), 1.0)
+        queue.set(canonical_pair(fs("a"), fs("c")), 3.0)
+        queue.set(canonical_pair(fs("b"), fs("c")), 2.0)
+        pair, gain = queue.pop()
+        assert gain == 3.0
+        assert pair == canonical_pair(fs("a"), fs("c"))
+        assert len(queue) == 2
+
+    def test_update_replaces_gain(self):
+        queue = CandidateQueue()
+        pair = canonical_pair(fs("a"), fs("b"))
+        queue.set(pair, 1.0)
+        queue.set(pair, 5.0)
+        assert queue.gain_of(pair) == 5.0
+        popped_pair, gain = queue.pop()
+        assert popped_pair == pair and gain == 5.0
+        assert queue.pop() is None
+
+    def test_discard_removes_lazily(self):
+        queue = CandidateQueue()
+        best = canonical_pair(fs("a"), fs("b"))
+        other = canonical_pair(fs("a"), fs("c"))
+        queue.set(best, 9.0)
+        queue.set(other, 1.0)
+        queue.discard(best)
+        assert best not in queue
+        pair, gain = queue.pop()
+        assert pair == other and gain == 1.0
+
+    def test_peek_does_not_remove(self):
+        queue = CandidateQueue()
+        pair = canonical_pair(fs("a"), fs("b"))
+        queue.set(pair, 2.0)
+        assert queue.peek() == (pair, 2.0)
+        assert len(queue) == 1
+
+    def test_tie_break_is_deterministic(self):
+        queue = CandidateQueue()
+        first = canonical_pair(fs("a"), fs("b"))
+        second = canonical_pair(fs("a"), fs("c"))
+        queue.set(second, 1.0)
+        queue.set(first, 1.0)
+        pair, _gain = queue.pop()
+        assert pair == first  # lexicographically smaller wins ties
+
+    def test_empty_queue(self):
+        queue = CandidateQueue()
+        assert queue.pop() is None
+        assert queue.peek() is None
+        assert len(queue) == 0

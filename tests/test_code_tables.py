@@ -1,0 +1,81 @@
+"""Unit tests for the standard and coreset code tables (Eq. 5)."""
+
+import math
+
+import pytest
+
+from repro.core.code_table import CoreCodeTable, StandardCodeTable
+from repro.errors import EncodingError
+from repro.graphs.attributed_graph import AttributedGraph
+
+
+class TestStandardCodeTable:
+    def test_paper_graph_frequencies(self, paper_graph):
+        table = StandardCodeTable.from_graph(paper_graph)
+        # a appears at v1, v2, v5 -> 3 of 7 total occurrences.
+        assert table.code_length("a") == pytest.approx(-math.log2(3 / 7))
+        assert table.code_length("b") == pytest.approx(-math.log2(2 / 7))
+        assert table.code_length("c") == pytest.approx(-math.log2(2 / 7))
+        assert table.total_occurrences == 7
+
+    def test_rarer_values_get_longer_codes(self, paper_graph):
+        table = StandardCodeTable.from_graph(paper_graph)
+        assert table.code_length("b") > table.code_length("a")
+
+    def test_set_cost_is_additive(self, paper_graph):
+        table = StandardCodeTable.from_graph(paper_graph)
+        assert table.set_cost({"a", "b"}) == pytest.approx(
+            table.code_length("a") + table.code_length("b")
+        )
+
+    def test_unknown_value_raises(self, paper_graph):
+        table = StandardCodeTable.from_graph(paper_graph)
+        with pytest.raises(EncodingError):
+            table.code_length("zzz")
+
+    def test_empty_graph_rejected(self):
+        graph = AttributedGraph()
+        graph.add_vertex(1)
+        with pytest.raises(EncodingError):
+            StandardCodeTable.from_graph(graph)
+
+    def test_non_positive_frequency_rejected(self):
+        with pytest.raises(EncodingError):
+            StandardCodeTable({"a": 0})
+
+    def test_membership_and_len(self, paper_graph):
+        table = StandardCodeTable.from_graph(paper_graph)
+        assert "a" in table
+        assert "zzz" not in table
+        assert len(table) == 3
+
+
+class TestCoreCodeTable:
+    def test_singletons_match_standard_table(self, paper_graph):
+        standard = StandardCodeTable.from_graph(paper_graph)
+        core = CoreCodeTable.singletons_from_graph(paper_graph)
+        for value in ("a", "b", "c"):
+            assert core.code_length(frozenset([value])) == pytest.approx(
+                standard.code_length(value)
+            )
+
+    def test_multi_value_usage(self):
+        table = CoreCodeTable({frozenset({"a", "b"}): 3, frozenset({"c"}): 1})
+        assert table.usage({"a", "b"}) == 3
+        assert table.code_length({"a", "b"}) == pytest.approx(-math.log2(3 / 4))
+        assert table.total_usage == 4
+
+    def test_duplicate_keys_accumulate(self):
+        table = CoreCodeTable({frozenset({"a"}): 2})
+        assert table.usage(("a",)) == 2
+
+    def test_unknown_coreset_raises(self):
+        table = CoreCodeTable({frozenset({"a"}): 1})
+        with pytest.raises(EncodingError):
+            table.code_length(frozenset({"zzz"}))
+
+    def test_empty_or_invalid_usage_rejected(self):
+        with pytest.raises(EncodingError):
+            CoreCodeTable({})
+        with pytest.raises(EncodingError):
+            CoreCodeTable({frozenset({"a"}): 0})

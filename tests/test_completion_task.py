@@ -1,0 +1,155 @@
+"""Tests for the completion split, metrics and fusion."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.completion.fusion import (
+    cspm_score_matrix,
+    fuse_scores,
+    normalize_scores,
+)
+from repro.completion.metrics import evaluate_all, ndcg_at_k, recall_at_k
+from repro.completion.task import make_completion_data
+from repro.core.miner import CSPM
+from repro.core.scoring import AStarScorer
+from repro.errors import DatasetError, ModelError
+
+
+class TestSplit:
+    def test_masks_partition_nodes(self, planted):
+        graph, _ = planted
+        data = make_completion_data(graph, test_fraction=0.4, seed=0)
+        assert (data.train_mask ^ data.test_mask).all()
+        assert data.test_mask.sum() == pytest.approx(
+            0.4 * data.num_nodes, abs=2
+        )
+
+    def test_features_zeroed_on_test_rows(self, planted):
+        graph, _ = planted
+        data = make_completion_data(graph, seed=1)
+        assert (data.features[data.test_mask] == 0).all()
+        rows = np.where(data.train_mask)[0]
+        assert np.allclose(data.features[rows], data.targets[rows])
+
+    def test_observed_graph_hides_test_attributes(self, planted):
+        graph, _ = planted
+        data = make_completion_data(graph, seed=2)
+        for row in data.test_rows():
+            vertex = data.vertex_order[row]
+            assert not data.observed_graph.attributes_of(vertex)
+
+    def test_adjacency_symmetric_and_matches_graph(self, planted):
+        graph, _ = planted
+        data = make_completion_data(graph, seed=0)
+        assert np.allclose(data.adjacency, data.adjacency.T)
+        assert data.adjacency.sum() == 2 * graph.num_edges
+
+    def test_targets_match_graph(self, planted):
+        graph, _ = planted
+        data = make_completion_data(graph, seed=0)
+        index = {value: i for i, value in enumerate(data.value_order)}
+        for row, vertex in enumerate(data.vertex_order):
+            expected = {index[v] for v in graph.attributes_of(vertex)}
+            assert set(np.where(data.targets[row] > 0)[0]) == expected
+
+    def test_split_is_seeded(self, planted):
+        graph, _ = planted
+        first = make_completion_data(graph, seed=5)
+        second = make_completion_data(graph, seed=5)
+        assert (first.test_mask == second.test_mask).all()
+
+    def test_invalid_fraction(self, planted):
+        graph, _ = planted
+        with pytest.raises(DatasetError):
+            make_completion_data(graph, test_fraction=0.0)
+        with pytest.raises(DatasetError):
+            make_completion_data(graph, test_fraction=1.0)
+
+
+class TestMetrics:
+    def test_recall_perfect_ranking(self):
+        scores = np.array([[0.9, 0.8, 0.1, 0.0]])
+        targets = np.array([[1, 1, 0, 0]])
+        assert recall_at_k(scores, targets, 2) == 1.0
+
+    def test_recall_partial(self):
+        scores = np.array([[0.9, 0.1, 0.8, 0.0]])
+        targets = np.array([[1, 1, 0, 0]])
+        assert recall_at_k(scores, targets, 2) == 0.5
+
+    def test_ndcg_position_sensitivity(self):
+        targets = np.array([[1, 0, 0]])
+        first = ndcg_at_k(np.array([[0.9, 0.5, 0.1]]), targets, 3)
+        second = ndcg_at_k(np.array([[0.5, 0.9, 0.1]]), targets, 3)
+        assert first == 1.0
+        assert second < first
+
+    def test_ndcg_ideal_normalisation(self):
+        # Two relevant items ranked top-2 -> NDCG 1 regardless of order.
+        targets = np.array([[1, 1, 0]])
+        assert ndcg_at_k(np.array([[0.9, 0.8, 0.1]]), targets, 2) == 1.0
+
+    def test_empty_target_rows_skipped(self):
+        scores = np.array([[0.9, 0.1], [0.5, 0.5]])
+        targets = np.array([[1, 0], [0, 0]])
+        assert recall_at_k(scores, targets, 1) == 1.0
+
+    def test_all_empty_targets_raise(self):
+        with pytest.raises(ModelError):
+            recall_at_k(np.ones((2, 2)), np.zeros((2, 2)), 1)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ModelError):
+            ndcg_at_k(np.ones((2, 3)), np.ones((3, 2)), 1)
+
+    def test_evaluate_all_keys(self):
+        metrics = evaluate_all(np.array([[0.9, 0.1]]), np.array([[1, 0]]), (1, 2))
+        assert set(metrics) == {"Recall@1", "Recall@2", "NDCG@1", "NDCG@2"}
+
+
+class TestNormalisation:
+    def test_range_and_infinity_handling(self):
+        scores = np.array([[1.0, 3.0, -math.inf], [2.0, 2.0, 2.0]])
+        normalized = normalize_scores(scores)
+        assert normalized[0, 1] == pytest.approx(1.0)
+        assert normalized[0, 2] == 0.0
+        assert normalized[0, 0] < normalized[0, 1]
+        # Constant rows become uniform 0.5.
+        assert np.allclose(normalized[1], 0.5)
+
+    def test_all_infinite_row_is_zero(self):
+        normalized = normalize_scores(np.array([[-math.inf, -math.inf]]))
+        assert np.allclose(normalized, 0.0)
+
+    def test_monotone(self):
+        scores = np.array([[1.0, 2.0, 3.0]])
+        normalized = normalize_scores(scores)[0]
+        assert normalized[0] < normalized[1] < normalized[2]
+
+
+class TestFusion:
+    def test_fusion_prefers_agreement(self):
+        model = np.array([[0.9, 0.8, 0.1]])
+        cspm = np.array([[3.0, -1.0, -1.0]])
+        fused = fuse_scores(model, cspm)[0]
+        assert fused[0] > fused[1] > fused[2]
+
+    def test_silent_cspm_rows_fall_back_to_model(self):
+        model = np.array([[0.9, 0.2, 0.4]])
+        cspm = np.full((1, 3), -math.inf)
+        fused = fuse_scores(model, cspm)
+        assert np.allclose(fused, normalize_scores(model))
+
+    def test_cspm_score_matrix_masks_unseen(self, planted):
+        graph, _ = planted
+        data = make_completion_data(graph, seed=0)
+        result = CSPM().fit(data.observed_graph)
+        matrix = cspm_score_matrix(AStarScorer(result), data, rows=data.test_rows())
+        # Untouched rows stay -inf everywhere.
+        untouched = np.where(data.train_mask)[0][0]
+        assert not np.isfinite(matrix[untouched]).any()
+        # Scored rows have at least one finite entry.
+        scored = data.test_rows()[0]
+        assert np.isfinite(matrix[scored]).any()

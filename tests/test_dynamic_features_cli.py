@@ -1,0 +1,182 @@
+"""Tests for the extension modules: dynamic mining, a-star features
+for graph classification, and the CLI."""
+
+import numpy as np
+import pytest
+
+from repro.core.dynamic import disjoint_union, mine_dynamic
+from repro.core.features import AStarFeaturizer, LogisticAStarClassifier
+from repro.errors import MiningError
+from repro.graphs.builders import star_graph
+from repro.graphs.generators import PlantedAStar, planted_astar_graph
+
+
+def snapshot(seed, strength=0.95):
+    graph, _ = planted_astar_graph(
+        30,
+        70,
+        [PlantedAStar("core", ("l1", "l2"), strength=strength)],
+        noise_values=("n1", "n2"),
+        noise_rate=0.2,
+        seed=seed,
+    )
+    return graph
+
+
+class TestDisjointUnion:
+    def test_sizes_add_up(self):
+        parts = [snapshot(0), snapshot(1)]
+        union = disjoint_union(parts)
+        assert union.num_vertices == sum(p.num_vertices for p in parts)
+        assert union.num_edges == sum(p.num_edges for p in parts)
+
+    def test_vertices_are_tagged(self):
+        union = disjoint_union([snapshot(0)])
+        assert all(isinstance(v, tuple) and v[0] == 0 for v in union.vertices())
+
+    def test_empty_rejected(self):
+        with pytest.raises(MiningError):
+            disjoint_union([])
+
+
+class TestDynamicMining:
+    def test_stable_pattern_detected(self):
+        """A correlation planted in every snapshot is highly stable."""
+        snapshots = [snapshot(seed) for seed in range(4)]
+        result = mine_dynamic(snapshots, top_k=40)
+        assert result.num_snapshots == 4
+        core_patterns = [
+            t
+            for t in result.temporal
+            if "core" in t.astar.coreset and len(t.astar.leafset) >= 2
+        ]
+        assert core_patterns
+        assert max(t.stability for t in core_patterns) >= 0.75
+
+    def test_bursty_pattern_detected(self):
+        """A correlation planted in one snapshot only is bursty."""
+        snapshots = [snapshot(seed) for seed in range(3)]
+        burst, _ = planted_astar_graph(
+            30,
+            70,
+            [PlantedAStar("burst-core", ("b1", "b2"), strength=1.0)],
+            noise_values=("n1",),
+            seed=99,
+        )
+        snapshots.append(burst)
+        result = mine_dynamic(snapshots)
+        burst_patterns = [
+            t for t in result.temporal if "burst-core" in t.astar.coreset
+        ]
+        assert burst_patterns
+        assert all(t.stability <= 0.25 for t in burst_patterns)
+        assert any(t in result.bursty() for t in burst_patterns)
+
+    def test_counts_sum_to_frequency(self):
+        result = mine_dynamic([snapshot(0), snapshot(1)])
+        for temporal in result.temporal:
+            assert temporal.total_occurrences == temporal.astar.frequency
+
+    def test_stable_filter_threshold(self):
+        result = mine_dynamic([snapshot(0), snapshot(1)])
+        for temporal in result.stable(min_stability=1.0):
+            assert temporal.stability == 1.0
+
+
+def labelled_graphs(count, seed):
+    """Class 0: p->q correlation; class 1: p->r correlation."""
+    graphs, labels = [], []
+    for index in range(count):
+        label = index % 2
+        leaves = ("q",) if label == 0 else ("r",)
+        graph, _ = planted_astar_graph(
+            25,
+            55,
+            [PlantedAStar("p", leaves, strength=0.95)],
+            noise_values=("n1", "n2"),
+            noise_rate=0.2,
+            seed=seed + index,
+        )
+        graphs.append(graph)
+        labels.append(label)
+    return graphs, labels
+
+
+class TestFeaturizer:
+    def test_shapes(self):
+        graphs, _ = labelled_graphs(6, seed=0)
+        featurizer = AStarFeaturizer(vocabulary_size=12)
+        matrix = featurizer.fit_transform(graphs)
+        assert matrix.shape == (6, len(featurizer.vocabulary))
+        assert (matrix >= 0).all()
+
+    def test_transform_before_fit(self):
+        with pytest.raises(MiningError):
+            AStarFeaturizer().transform([star_graph(["x"], [["a"]])])
+
+    def test_fit_empty(self):
+        with pytest.raises(MiningError):
+            AStarFeaturizer().fit([])
+
+    def test_discriminative_features_exist(self):
+        graphs, labels = labelled_graphs(10, seed=3)
+        matrix = AStarFeaturizer(vocabulary_size=30).fit_transform(graphs)
+        labels = np.asarray(labels)
+        gaps = np.abs(
+            matrix[labels == 0].mean(axis=0) - matrix[labels == 1].mean(axis=0)
+        )
+        assert gaps.max() > 0
+
+
+class TestClassifier:
+    def test_learns_planted_classes(self):
+        train_graphs, train_labels = labelled_graphs(16, seed=10)
+        test_graphs, test_labels = labelled_graphs(8, seed=200)
+        classifier = LogisticAStarClassifier(
+            featurizer=AStarFeaturizer(vocabulary_size=30), seed=0
+        )
+        classifier.fit(train_graphs, train_labels)
+        accuracy = classifier.score(test_graphs, test_labels)
+        assert accuracy >= 0.75, accuracy
+
+    def test_label_validation(self):
+        graphs, _ = labelled_graphs(4, seed=0)
+        classifier = LogisticAStarClassifier()
+        with pytest.raises(MiningError):
+            classifier.fit(graphs, [0, 1])
+        with pytest.raises(MiningError):
+            classifier.fit(graphs, [0, 1, 2, 3])
+
+    def test_predict_before_fit(self):
+        with pytest.raises(MiningError):
+            LogisticAStarClassifier().predict_proba([])
+
+
+class TestCLI:
+    def test_datasets_listing(self, capsys):
+        from repro.cli import main
+
+        assert main(["datasets"]) == 0
+        out = capsys.readouterr().out
+        assert "dblp" in out and "pokec" in out
+
+    def test_generate_stats_mine_round_trip(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = tmp_path / "usflight.json"
+        assert main(["generate", "usflight", str(path), "--seed", "1"]) == 0
+        assert main(["stats", str(path)]) == 0
+        assert "#Nodes" in capsys.readouterr().out
+        assert main(["mine", str(path), "--top", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "a-stars" in out and "->" in out
+
+    def test_mine_basic_method(self, tmp_path, capsys):
+        from repro.cli import main
+        from repro.graphs.builders import paper_running_example
+        from repro.graphs.io import save_json
+
+        path = tmp_path / "paper.json"
+        save_json(paper_running_example(), path)
+        assert main(["mine", str(path), "--method", "basic"]) == 0
+        assert "cspm-basic" in capsys.readouterr().out

@@ -1,0 +1,67 @@
+"""Tests of the exception hierarchy and public package surfaces."""
+
+import importlib
+
+import pytest
+
+from repro.errors import (
+    DatasetError,
+    EncodingError,
+    GraphError,
+    MiningError,
+    ModelError,
+    ReproError,
+)
+
+SUBPACKAGES = [
+    "repro.graphs",
+    "repro.core",
+    "repro.itemsets",
+    "repro.nn",
+    "repro.nn.models",
+    "repro.completion",
+    "repro.alarms",
+    "repro.datasets",
+]
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "error",
+        [DatasetError, EncodingError, GraphError, MiningError, ModelError],
+    )
+    def test_all_derive_from_repro_error(self, error):
+        assert issubclass(error, ReproError)
+
+    def test_catchable_at_boundary(self):
+        from repro import CSPM
+        from repro.graphs.attributed_graph import AttributedGraph
+
+        with pytest.raises(ReproError):
+            CSPM().fit(AttributedGraph())
+
+
+class TestPublicSurfaces:
+    @pytest.mark.parametrize("name", SUBPACKAGES)
+    def test_all_exports_resolve(self, name):
+        module = importlib.import_module(name)
+        for symbol in getattr(module, "__all__", []):
+            assert hasattr(module, symbol), f"{name}.{symbol}"
+
+    def test_top_level_docstrings(self):
+        for name in SUBPACKAGES:
+            module = importlib.import_module(name)
+            assert module.__doc__, f"{name} lacks a module docstring"
+
+    def test_public_classes_documented(self):
+        from repro.core.inverted_db import InvertedDatabase
+        from repro.core.miner import CSPM, CSPMResult
+        from repro.core.scoring import AStarScorer
+
+        for obj in (InvertedDatabase, CSPM, CSPMResult, AStarScorer):
+            assert obj.__doc__
+            for attr_name in dir(obj):
+                attr = getattr(obj, attr_name)
+                if attr_name.startswith("_") or not callable(attr):
+                    continue
+                assert attr.__doc__, f"{obj.__name__}.{attr_name} undocumented"

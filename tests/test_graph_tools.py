@@ -1,0 +1,147 @@
+"""Tests for graph generators, IO, statistics and builders."""
+
+import pytest
+
+from repro.errors import DatasetError, GraphError
+from repro.graphs.builders import paper_running_example, path_graph, star_graph
+from repro.graphs.generators import (
+    PlantedAStar,
+    planted_astar_graph,
+    random_attributed_graph,
+)
+from repro.graphs.io import (
+    from_json_dict,
+    load_json,
+    save_json,
+    to_adjacency_text,
+    to_json_dict,
+)
+from repro.graphs.stats import graph_stats, stats_table
+
+
+class TestBuilders:
+    def test_running_example_shape(self):
+        graph = paper_running_example()
+        assert graph.num_vertices == 5
+        assert graph.num_edges == 5
+        assert graph.attributes_of(2) == frozenset({"a", "c"})
+        assert graph.is_connected()
+
+    def test_star_graph(self):
+        graph = star_graph(["x"], [["a"], ["b", "c"]])
+        assert graph.degree(0) == 2
+        assert graph.neighbor_values(0) == frozenset({"a", "b", "c"})
+
+    def test_star_graph_needs_leaves(self):
+        with pytest.raises(GraphError):
+            star_graph(["x"], [])
+
+    def test_path_graph(self):
+        graph = path_graph([["a"], ["b"], ["c"]])
+        assert graph.num_edges == 2
+        assert graph.degree(1) == 2
+
+    def test_path_graph_empty(self):
+        with pytest.raises(GraphError):
+            path_graph([])
+
+
+class TestGenerators:
+    def test_random_graph_connected_and_sized(self):
+        graph = random_attributed_graph(30, 60, ["a", "b", "c"], seed=1)
+        assert graph.num_vertices == 30
+        assert graph.num_edges == 60
+        assert graph.is_connected()
+        for vertex in graph.vertices():
+            assert len(graph.attributes_of(vertex)) == 2
+
+    def test_random_graph_seeded(self):
+        first = random_attributed_graph(20, 40, ["a", "b"], seed=5)
+        second = random_attributed_graph(20, 40, ["a", "b"], seed=5)
+        assert first == second
+
+    def test_random_graph_guards(self):
+        with pytest.raises(DatasetError):
+            random_attributed_graph(10, 3, ["a"])  # too few edges
+        with pytest.raises(DatasetError):
+            random_attributed_graph(4, 100, ["a"])  # too many edges
+        with pytest.raises(DatasetError):
+            random_attributed_graph(4, 4, [])  # no values
+
+    def test_planted_graph_places_cores(self):
+        patterns = [PlantedAStar("core", ("l1", "l2"), strength=1.0)]
+        graph, truth = planted_astar_graph(
+            50, 120, patterns, noise_values=("n",), seed=0
+        )
+        positions = truth.core_positions["core"]
+        assert positions
+        for vertex in positions:
+            assert "core" in graph.attributes_of(vertex)
+
+    def test_planted_strength_one_means_leaves_nearby(self):
+        patterns = [PlantedAStar("core", ("l1",), strength=1.0)]
+        graph, truth = planted_astar_graph(40, 100, patterns, seed=3)
+        hits = sum(
+            1
+            for vertex in truth.core_positions["core"]
+            if "l1" in graph.neighbor_values(vertex)
+        )
+        assert hits / len(truth.core_positions["core"]) > 0.9
+
+    def test_planted_guards(self):
+        with pytest.raises(DatasetError):
+            planted_astar_graph(10, 20, [], noise_rate=2.0)
+        with pytest.raises(DatasetError):
+            planted_astar_graph(10, 20, [], carrier_fraction=0.0)
+
+
+class TestIO:
+    def test_json_round_trip(self, tmp_path, paper_graph):
+        path = tmp_path / "graph.json"
+        save_json(paper_graph, path)
+        loaded = load_json(path)
+        assert loaded == paper_graph
+
+    def test_json_dict_round_trip(self, paper_graph):
+        assert from_json_dict(to_json_dict(paper_graph)) == paper_graph
+
+    def test_load_missing_file(self, tmp_path):
+        with pytest.raises(GraphError):
+            load_json(tmp_path / "missing.json")
+
+    def test_load_corrupt_file(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(GraphError):
+            load_json(path)
+
+    def test_adjacency_text_mentions_all_vertices(self, paper_graph):
+        text = to_adjacency_text(paper_graph)
+        assert len(text.splitlines()) == paper_graph.num_vertices
+        assert "a,c" in text  # v2's values
+
+
+class TestStats:
+    def test_paper_graph_stats(self, paper_graph):
+        stats = graph_stats(paper_graph)
+        assert stats.num_vertices == 5
+        assert stats.num_edges == 5
+        assert stats.num_values == 3
+        assert stats.num_coresets == 3
+        assert stats.avg_values_per_vertex == pytest.approx(7 / 5)
+        assert stats.avg_degree == pytest.approx(2.0)
+
+    def test_coresets_require_attributed_neighbours(self):
+        from repro.graphs.attributed_graph import AttributedGraph
+
+        graph = AttributedGraph.from_edges(
+            [(1, 2)], {1: {"a"}, 2: set(), 3: {"b"}}
+        )
+        stats = graph_stats(graph)
+        # 'a' has only an unattributed neighbour; 'b' is isolated.
+        assert stats.num_coresets == 0
+
+    def test_stats_table_format(self, paper_graph):
+        text = stats_table([("example", paper_graph)])
+        assert "example" in text
+        assert "#Nodes" in text

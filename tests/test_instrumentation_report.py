@@ -1,0 +1,83 @@
+"""Tests for run instrumentation and the completion report object."""
+
+import pytest
+
+from repro.completion.experiment import CompletionReport
+from repro.core.instrumentation import IterationTrace, RunTrace
+
+
+def trace(iteration, gains, possible, dl):
+    return IterationTrace(
+        iteration=iteration,
+        gains_computed=gains,
+        possible_pairs=possible,
+        num_leafsets=10,
+        merged_pair=(("'a'",), ("'b'",)),
+        gain=1.0,
+        total_dl_bits=dl,
+    )
+
+
+class TestIterationTrace:
+    def test_update_ratio(self):
+        assert trace(1, 5, 10, 100.0).update_ratio == 0.5
+
+    def test_update_ratio_clamped(self):
+        assert trace(1, 20, 10, 100.0).update_ratio == 1.0
+
+    def test_update_ratio_no_pairs(self):
+        assert trace(1, 5, 0, 100.0).update_ratio == 0.0
+
+
+class TestRunTrace:
+    def build(self):
+        run = RunTrace(algorithm="test")
+        run.initial_dl_bits = 200.0
+        run.initial_candidate_gains = 45
+        run.iterations = [trace(1, 5, 45, 150.0), trace(2, 3, 36, 120.0)]
+        run.final_dl_bits = 120.0
+        return run
+
+    def test_counts(self):
+        run = self.build()
+        assert run.num_iterations == 2
+        assert run.total_gain_computations == 45 + 5 + 3
+
+    def test_compression_ratio(self):
+        assert self.build().compression_ratio == pytest.approx(0.6)
+
+    def test_compression_ratio_degenerate(self):
+        run = RunTrace(algorithm="x")
+        assert run.compression_ratio == 1.0
+
+    def test_update_ratios_series(self):
+        ratios = self.build().update_ratios()
+        assert ratios == [pytest.approx(5 / 45), pytest.approx(3 / 36)]
+
+
+class TestCompletionReport:
+    def build(self):
+        report = CompletionReport(dataset="toy", ks=(5,))
+        report.plain["m"] = {"Recall@5": 0.5, "NDCG@5": 0.4}
+        report.fused["m"] = {"Recall@5": 0.6, "NDCG@5": 0.5}
+        report.plain["z"] = {"Recall@5": 0.2, "NDCG@5": 0.1}
+        report.fused["z"] = {"Recall@5": 0.3, "NDCG@5": 0.2}
+        return report
+
+    def test_improvement_percentages(self):
+        improvement = self.build().improvement()
+        # m: +20%, z: +50% -> average +35% for Recall@5.
+        assert improvement["Recall@5"] == pytest.approx(35.0)
+
+    def test_table_rows(self):
+        table = self.build().as_table()
+        assert "CSPM+m" in table
+        assert "Avg.improvement(%)" in table
+        assert "0.6000" in table
+
+    def test_zero_baseline_skipped(self):
+        report = self.build()
+        report.plain["zero"] = {"Recall@5": 0.0, "NDCG@5": 0.0}
+        report.fused["zero"] = {"Recall@5": 0.1, "NDCG@5": 0.1}
+        improvement = report.improvement()
+        assert improvement["Recall@5"] == pytest.approx(35.0)

@@ -1,0 +1,129 @@
+"""End-to-end integration tests across packages."""
+
+import numpy as np
+import pytest
+
+from repro import CSPM, AStarScorer
+from repro.alarms import (
+    acor_rank_pairs,
+    coverage_curve,
+    cspm_rank_pairs,
+    default_rule_library,
+    simulate_alarms,
+)
+from repro.completion.experiment import run_completion_experiment
+from repro.datasets import load_dataset
+from repro.graphs.io import from_json_dict, to_json_dict
+
+
+class TestMiningPipeline:
+    def test_dataset_to_patterns(self):
+        """Generate -> mine -> rank -> score, on the Pokec analogue."""
+        graph = load_dataset("pokec", seed=2)
+        result = CSPM().fit(graph)
+        assert result.compression_ratio < 0.9
+        result.inverted_db.validate(graph)
+
+        scorer = AStarScorer(result)
+        vertex = next(iter(graph.vertices()))
+        scores = scorer.score(graph, vertex)
+        assert scores
+
+    def test_serialisation_then_mining(self):
+        graph = load_dataset("usflight", seed=1)
+        clone = from_json_dict(to_json_dict(graph))
+        original = CSPM().fit(graph)
+        roundtrip = CSPM().fit(clone)
+        assert original.final_dl.total_bits == pytest.approx(
+            roundtrip.final_dl.total_bits
+        )
+
+    def test_mining_deterministic(self):
+        graph = load_dataset("dblp", scale=0.3, seed=0)
+        first = CSPM().fit(graph)
+        second = CSPM().fit(graph)
+        assert [s.sort_key() for s in first.astars] == [
+            s.sort_key() for s in second.astars
+        ]
+
+
+class TestCompletionPipeline:
+    def test_small_experiment_improves_weak_baseline(self):
+        graph = load_dataset("cora", scale=0.08, seed=3)
+        report = run_completion_experiment(
+            graph,
+            dataset_name="cora-small",
+            ks=(10, 20),
+            models=["neighaggre", "vae"],
+            test_fraction=0.4,
+            seed=0,
+            model_kwargs={"vae": {"epochs": 40}},
+        )
+        table = report.as_table()
+        assert "CSPM+neighaggre" in table
+        improvement = report.improvement()
+        # The Table IV effect on the weak baselines.
+        assert sum(improvement.values()) / len(improvement) > 0
+
+    def test_metrics_in_unit_interval(self):
+        graph = load_dataset("cora", scale=0.08, seed=4)
+        report = run_completion_experiment(
+            graph,
+            dataset_name="x",
+            ks=(5,),
+            models=["neighaggre"],
+            seed=1,
+        )
+        for block in (report.plain, report.fused):
+            for metrics in block.values():
+                for value in metrics.values():
+                    assert 0.0 <= value <= 1.0
+
+
+class TestAlarmPipeline:
+    def test_cspm_beats_acor_in_late_coverage(self):
+        library = default_rule_library(seed=0)
+        simulation = simulate_alarms(
+            library,
+            num_devices=80,
+            num_windows=150,
+            causes_per_window=2.5,
+            propagation=0.85,
+            neighbour_fraction=0.85,
+            num_noise_types=20,
+            noise_rate=2.0,
+            derivative_flap_rate=2.0,
+            cascade_probability=0.4,
+            window_split_probability=0.5,
+            seed=1,
+        )
+        truth = library.pair_rules()
+        ks = [250, 500, 1000, 2000]
+        cspm_curve = coverage_curve(cspm_rank_pairs(simulation), truth, ks)
+        acor_curve = coverage_curve(acor_rank_pairs(simulation), truth, ks)
+        assert cspm_curve[-1] >= 0.95
+        assert sum(cspm_curve) >= sum(acor_curve)
+
+
+class TestPublicAPI:
+    def test_package_exports(self):
+        import repro
+
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_version(self):
+        import repro
+
+        assert repro.__version__
+
+    def test_numpy_interop(self):
+        """Scores fuse with plain numpy arrays end to end."""
+        from repro.completion.fusion import fuse_scores
+
+        model = np.random.default_rng(0).random((4, 6))
+        cspm = np.full((4, 6), -np.inf)
+        cspm[:, 0] = 1.0
+        fused = fuse_scores(model, cspm)
+        assert fused.shape == (4, 6)
+        assert np.isfinite(fused).all()

@@ -1,0 +1,160 @@
+"""Tests for the itemset-mining substrate (transactions, Eclat, covers)."""
+
+import math
+
+import pytest
+
+from repro.errors import EncodingError, MiningError
+from repro.itemsets.code_table import ItemsetCodeTable
+from repro.itemsets.eclat import frequent_itemsets
+from repro.itemsets.transactions import TransactionDatabase
+
+DATA = [
+    {"a", "b", "c"},
+    {"a", "b"},
+    {"a", "b", "d"},
+    {"c", "d"},
+    {"a", "b", "c"},
+]
+
+
+@pytest.fixture()
+def db():
+    return TransactionDatabase(DATA)
+
+
+class TestTransactionDatabase:
+    def test_len_and_items(self, db):
+        assert len(db) == 5
+        assert db.items == ["a", "b", "c", "d"]
+
+    def test_support(self, db):
+        assert db.support({"a", "b"}) == 4
+        assert db.support({"a", "b", "c"}) == 2
+        assert db.support({"a", "zzz"}) == 0
+        assert db.support(set()) == 5
+
+    def test_item_frequencies(self, db):
+        frequencies = db.item_frequencies()
+        assert frequencies["a"] == 4
+        assert frequencies["d"] == 2
+
+    def test_tidlist(self, db):
+        assert db.tidlist("c") == frozenset({0, 3, 4})
+
+    def test_empty_database_rejected(self):
+        with pytest.raises(MiningError):
+            TransactionDatabase([])
+        with pytest.raises(MiningError):
+            TransactionDatabase([set(), set()])
+
+
+class TestEclat:
+    def test_finds_all_frequent_itemsets(self, db):
+        found = dict(frequent_itemsets(db, min_support=2))
+        assert found[frozenset({"a", "b"})] == 4
+        assert found[frozenset({"a", "b", "c"})] == 2
+        assert frozenset({"a", "d"}) not in found  # support 1
+
+    def test_min_support_filters(self, db):
+        found = dict(frequent_itemsets(db, min_support=4))
+        assert set(found) == {
+            frozenset({"a"}),
+            frozenset({"b"}),
+            frozenset({"a", "b"}),
+        }
+
+    def test_max_size_caps_length(self, db):
+        found = dict(frequent_itemsets(db, min_support=2, max_size=1))
+        assert all(len(itemset) == 1 for itemset in found)
+
+    def test_supports_are_correct(self, db):
+        for itemset, support in frequent_itemsets(db, min_support=1):
+            assert support == db.support(itemset)
+
+    def test_invalid_parameters(self, db):
+        with pytest.raises(MiningError):
+            frequent_itemsets(db, min_support=0)
+        with pytest.raises(MiningError):
+            frequent_itemsets(db, max_size=0)
+
+
+class TestItemsetCodeTable:
+    def test_initial_cover_is_singletons(self, db):
+        table = ItemsetCodeTable(db)
+        cover = table.cover(frozenset({"a", "b"}))
+        assert sorted(map(set, cover), key=str) == [{"a"}, {"b"}]
+
+    def test_cover_is_partition(self, db):
+        table = ItemsetCodeTable(db)
+        table.add({"a", "b"})
+        for transaction in db:
+            cover = table.cover(transaction)
+            union = set()
+            total = 0
+            for itemset in cover:
+                union |= itemset
+                total += len(itemset)
+            assert union == set(transaction)
+            assert total == len(transaction)  # no overlaps
+
+    def test_larger_itemsets_cover_first(self, db):
+        table = ItemsetCodeTable(db)
+        table.add({"a", "b"})
+        cover = table.cover(frozenset({"a", "b", "c"}))
+        assert frozenset({"a", "b"}) in cover
+
+    def test_usages_sum_matches_covers(self, db):
+        table = ItemsetCodeTable(db)
+        table.add({"a", "b"})
+        usages = table.usages()
+        assert usages[frozenset({"a", "b"})] == 4
+        assert usages[frozenset({"a"})] == 0
+        total_cover_elements = sum(len(c) for c in table.covers())
+        assert sum(usages.values()) == total_cover_elements
+
+    def test_adding_useful_itemset_reduces_dl(self, db):
+        table = ItemsetCodeTable(db)
+        before = table.total_bits()
+        table.add({"a", "b"})
+        assert table.total_bits() < before
+
+    def test_remove_restores_dl(self, db):
+        table = ItemsetCodeTable(db)
+        before = table.total_bits()
+        table.add({"a", "b"})
+        table.remove({"a", "b"})
+        assert table.total_bits() == pytest.approx(before)
+
+    def test_code_lengths_follow_usage(self, db):
+        table = ItemsetCodeTable(db)
+        table.add({"a", "b"})
+        # {a,b} used 4 times; {c} used 3 times -> {a,b} shorter code.
+        assert table.code_length({"a", "b"}) < table.code_length({"c"})
+
+    def test_unused_itemset_has_infinite_code(self, db):
+        table = ItemsetCodeTable(db)
+        table.add({"a", "b"})
+        assert table.code_length({"a"}) == math.inf
+
+    def test_add_guards(self, db):
+        table = ItemsetCodeTable(db)
+        with pytest.raises(MiningError):
+            table.add({"a"})  # singleton
+        with pytest.raises(MiningError):
+            table.add({"a", "zzz"})  # never occurs
+        table.add({"a", "b"})
+        with pytest.raises(MiningError):
+            table.add({"a", "b"})  # duplicate
+
+    def test_remove_guards(self, db):
+        table = ItemsetCodeTable(db)
+        with pytest.raises(MiningError):
+            table.remove({"a"})
+        with pytest.raises(MiningError):
+            table.remove({"a", "b"})
+
+    def test_unknown_item_in_transaction(self, db):
+        table = ItemsetCodeTable(db)
+        with pytest.raises(EncodingError):
+            table.cover(frozenset({"a", "unknown"}))

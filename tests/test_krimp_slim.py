@@ -1,0 +1,137 @@
+"""Tests for the Krimp and SLIM miners."""
+
+import pytest
+
+from repro.itemsets import cover_database, mine_code_table
+from repro.itemsets.krimp import KrimpMiner
+from repro.itemsets.slim import SlimMiner, slim_on_graph
+from repro.itemsets.transactions import TransactionDatabase
+from repro.graphs.builders import paper_running_example
+
+# a+b always together, c half the time; d independent.
+CORRELATED = [
+    {"a", "b"},
+    {"a", "b", "c"},
+    {"a", "b"},
+    {"a", "b", "c"},
+    {"a", "b", "d"},
+    {"a", "b"},
+    {"d"},
+    {"c", "d"},
+]
+
+
+@pytest.fixture()
+def db():
+    return TransactionDatabase(CORRELATED)
+
+
+class TestKrimp:
+    def test_compresses(self, db):
+        report = KrimpMiner(min_support=2).fit(db)
+        assert report.final_bits < report.initial_bits
+        assert report.compression_ratio < 1.0
+
+    def test_finds_the_correlated_pair(self, db):
+        report = KrimpMiner(min_support=2).fit(db)
+        assert frozenset({"a", "b"}) in report.accepted
+
+    def test_dl_matches_code_table(self, db):
+        report = KrimpMiner(min_support=2).fit(db)
+        assert report.final_bits == pytest.approx(report.code_table.total_bits())
+
+    def test_candidates_respect_min_support(self, db):
+        report = KrimpMiner(min_support=7).fit(db)
+        # No itemset of size >= 2 has support >= 7.
+        assert report.candidates_considered == 0
+        assert report.accepted == []
+
+    def test_covers_stay_partitions(self, db):
+        report = KrimpMiner(min_support=2).fit(db)
+        for transaction, cover in zip(db, report.code_table.covers()):
+            union = set()
+            size = 0
+            for itemset in cover:
+                union |= itemset
+                size += len(itemset)
+            assert union == set(transaction) and size == len(transaction)
+
+
+class TestSlim:
+    def test_compresses(self, db):
+        report = SlimMiner().fit(db)
+        assert report.final_bits < report.initial_bits
+
+    def test_finds_the_correlated_pair(self, db):
+        report = SlimMiner().fit(db)
+        assert frozenset({"a", "b"}) in report.accepted
+
+    def test_rounds_counted(self, db):
+        report = SlimMiner().fit(db)
+        assert report.rounds == len(report.accepted)
+
+    def test_max_rounds_cap(self, db):
+        report = SlimMiner(max_rounds=1).fit(db)
+        assert report.rounds <= 1
+
+    def test_dl_never_increases_across_accepts(self, db):
+        # Final bits equals the code table's recomputed DL and is the
+        # minimum over the acceptance sequence by construction.
+        report = SlimMiner().fit(db)
+        assert report.final_bits == pytest.approx(report.code_table.total_bits())
+
+    def test_slim_on_graph_runs(self):
+        report = slim_on_graph(paper_running_example())
+        assert report.initial_bits > 0
+        assert report.final_bits <= report.initial_bits
+
+
+class TestFacadeHelpers:
+    def test_mine_code_table_slim_and_krimp(self):
+        for algorithm in ("slim", "krimp"):
+            table = mine_code_table(CORRELATED, algorithm=algorithm)
+            assert frozenset({"a", "b"}) in table.itemsets()
+
+    def test_unknown_algorithm(self):
+        with pytest.raises(ValueError):
+            mine_code_table(CORRELATED, algorithm="apriori")
+
+    def test_cover_database_shapes(self):
+        table = mine_code_table(CORRELATED, algorithm="slim")
+        covers = cover_database(table, CORRELATED)
+        assert len(covers) == len(CORRELATED)
+        for transaction, cover in zip(CORRELATED, covers):
+            union = set()
+            for itemset in cover:
+                union |= itemset
+            assert union == set(transaction)
+
+
+class TestMultiValueCoresets:
+    def test_miner_with_slim_encoder(self):
+        """Section IV-F: multi-value coresets via SLIM on attributes."""
+        from repro.core.miner import CSPM
+        from repro.graphs.attributed_graph import AttributedGraph
+
+        # Vertices with strongly co-occurring attribute pair {p, q}.
+        edges = [(i, i + 1) for i in range(9)]
+        attributes = {}
+        for i in range(10):
+            attributes[i] = {"p", "q"} if i % 2 == 0 else {"r"}
+        graph = AttributedGraph.from_edges(edges, attributes)
+        result = CSPM(coreset_encoder="slim").fit(graph)
+        coresets = {star.coreset for star in result.astars}
+        assert frozenset({"p", "q"}) in coresets
+
+    def test_miner_with_krimp_encoder(self):
+        from repro.core.miner import CSPM
+        from repro.graphs.attributed_graph import AttributedGraph
+
+        edges = [(i, i + 1) for i in range(9)]
+        attributes = {}
+        for i in range(10):
+            attributes[i] = {"p", "q"} if i % 2 == 0 else {"r"}
+        graph = AttributedGraph.from_edges(edges, attributes)
+        result = CSPM(coreset_encoder="krimp").fit(graph)
+        assert result.astars
+        result.inverted_db.validate()

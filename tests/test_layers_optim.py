@@ -1,0 +1,203 @@
+"""Tests for neural modules, optimisers and losses."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError
+from repro.nn.autograd import Tensor
+from repro.nn.layers import (
+    MLP,
+    Dropout,
+    GATConv,
+    GCNConv,
+    Linear,
+    SAGEConv,
+    Sequential,
+    adjacency_with_self_loops,
+    mean_adjacency,
+    normalized_adjacency,
+)
+from repro.nn.losses import bce_with_logits, gaussian_kl, mse
+from repro.nn.optim import SGD, Adam
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(0)
+
+
+PATH_ADJACENCY = np.array(
+    [
+        [0.0, 1.0, 0.0],
+        [1.0, 0.0, 1.0],
+        [0.0, 1.0, 0.0],
+    ]
+)
+
+
+class TestStructureHelpers:
+    def test_normalized_adjacency_symmetric(self):
+        a_norm = normalized_adjacency(PATH_ADJACENCY)
+        assert np.allclose(a_norm, a_norm.T)
+        # Row of an isolated-with-self-loop vertex sums to 1.
+        isolated = normalized_adjacency(np.zeros((2, 2)))
+        assert np.allclose(isolated, np.eye(2))
+
+    def test_mean_adjacency_rows_sum_to_one(self):
+        a_mean = mean_adjacency(PATH_ADJACENCY)
+        assert np.allclose(a_mean.sum(axis=1), [1.0, 1.0, 1.0])
+
+    def test_mean_adjacency_isolated_row_zero(self):
+        adjacency = np.zeros((2, 2))
+        assert np.allclose(mean_adjacency(adjacency), 0.0)
+
+    def test_self_loop_mask(self):
+        mask = adjacency_with_self_loops(PATH_ADJACENCY)
+        assert mask.dtype == bool
+        assert mask[0, 0] and mask[0, 1] and not mask[0, 2]
+
+
+class TestLayers:
+    def test_linear_shapes_and_grad(self, rng):
+        layer = Linear(4, 3, rng)
+        x = Tensor(rng.normal(size=(5, 4)), requires_grad=True)
+        out = layer(x)
+        assert out.shape == (5, 3)
+        out.sum().backward()
+        assert layer.weight.grad is not None
+        assert layer.bias.grad is not None
+
+    def test_gcn_conv_propagates(self, rng):
+        conv = GCNConv(2, 2, rng)
+        a_norm = Tensor(normalized_adjacency(PATH_ADJACENCY))
+        x = Tensor(np.eye(3, 2))
+        out = conv(x, a_norm)
+        assert out.shape == (3, 2)
+
+    def test_sage_conv_concatenates(self, rng):
+        conv = SAGEConv(3, 4, rng)
+        x = Tensor(rng.normal(size=(3, 3)))
+        out = conv(x, Tensor(mean_adjacency(PATH_ADJACENCY)))
+        assert out.shape == (3, 4)
+
+    def test_gat_attention_rows_normalised(self, rng):
+        conv = GATConv(3, 4, rng)
+        mask = adjacency_with_self_loops(PATH_ADJACENCY)
+        x = Tensor(rng.normal(size=(3, 3)))
+        out = conv(x, mask)
+        assert out.shape == (3, 4)
+
+    def test_gat_gradients_flow(self, rng):
+        conv = GATConv(2, 2, rng)
+        mask = adjacency_with_self_loops(PATH_ADJACENCY)
+        x = Tensor(rng.normal(size=(3, 2)), requires_grad=True)
+        conv(x, mask).sum().backward()
+        assert x.grad is not None
+        assert conv.att_src.grad is not None
+
+    def test_dropout_train_vs_eval(self, rng):
+        layer = Dropout(0.5, rng)
+        x = Tensor(np.ones((100, 10)))
+        layer.train()
+        dropped = layer(x).numpy()
+        assert (dropped == 0).any()
+        layer.eval()
+        assert np.allclose(layer(x).numpy(), 1.0)
+
+    def test_dropout_rate_validation(self, rng):
+        with pytest.raises(ModelError):
+            Dropout(1.0, rng)
+
+    def test_sequential_and_mlp(self, rng):
+        mlp = MLP([4, 8, 2], rng, final_activation="sigmoid")
+        out = mlp(Tensor(rng.normal(size=(3, 4))))
+        assert out.shape == (3, 2)
+        assert (out.numpy() > 0).all() and (out.numpy() < 1).all()
+
+    def test_mlp_needs_two_sizes(self, rng):
+        with pytest.raises(ModelError):
+            MLP([4], rng)
+
+    def test_module_parameter_collection(self, rng):
+        model = Sequential(Linear(2, 3, rng), Linear(3, 1, rng))
+        assert len(list(model.parameters())) == 4  # 2 weights + 2 biases
+
+
+class TestOptimisers:
+    def _quadratic_step(self, optimizer_factory):
+        x = Tensor(np.array([5.0]), requires_grad=True)
+        optimizer = optimizer_factory([x])
+        for _ in range(200):
+            optimizer.zero_grad()
+            loss = (x * x).sum()
+            loss.backward()
+            optimizer.step()
+        return float(x.data[0])
+
+    def test_sgd_converges(self):
+        final = self._quadratic_step(lambda p: SGD(p, lr=0.1))
+        assert abs(final) < 1e-3
+
+    def test_sgd_momentum_converges(self):
+        final = self._quadratic_step(lambda p: SGD(p, lr=0.05, momentum=0.9))
+        assert abs(final) < 1e-2
+
+    def test_adam_converges(self):
+        final = self._quadratic_step(lambda p: Adam(p, lr=0.2))
+        assert abs(final) < 1e-2
+
+    def test_empty_parameters_rejected(self):
+        with pytest.raises(ModelError):
+            SGD([], lr=0.1)
+
+    def test_bad_lr_rejected(self):
+        x = Tensor(np.ones(1), requires_grad=True)
+        with pytest.raises(ModelError):
+            Adam([x], lr=0.0)
+
+    def test_weight_decay_shrinks_weights(self):
+        x = Tensor(np.array([1.0]), requires_grad=True)
+        optimizer = Adam([x], lr=0.01, weight_decay=10.0)
+        optimizer.zero_grad()
+        (x * 0.0).sum().backward()
+        optimizer.step()
+        assert abs(float(x.data[0])) < 1.0
+
+
+class TestLosses:
+    def test_bce_matches_reference(self):
+        logits = Tensor(np.array([[0.0, 2.0], [-3.0, 1.0]]))
+        targets = np.array([[0.0, 1.0], [1.0, 0.0]])
+        value = bce_with_logits(logits, targets).item()
+        probabilities = 1 / (1 + np.exp(-logits.numpy()))
+        reference = -(
+            targets * np.log(probabilities)
+            + (1 - targets) * np.log(1 - probabilities)
+        ).mean()
+        assert value == pytest.approx(reference, rel=1e-6)
+
+    def test_bce_mask_selects_rows(self):
+        logits = Tensor(np.array([[10.0], [0.0]]))
+        targets = np.array([[0.0], [0.0]])
+        full = bce_with_logits(logits, targets).item()
+        masked = bce_with_logits(logits, targets, mask=np.array([0, 1])).item()
+        assert masked < full  # the bad row was excluded
+
+    def test_bce_extreme_logits_stable(self):
+        logits = Tensor(np.array([[500.0, -500.0]]))
+        targets = np.array([[1.0, 0.0]])
+        assert bce_with_logits(logits, targets).item() == pytest.approx(0.0, abs=1e-9)
+
+    def test_mse(self):
+        prediction = Tensor(np.array([[1.0, 2.0]]))
+        assert mse(prediction, np.array([[0.0, 0.0]])).item() == pytest.approx(2.5)
+
+    def test_gaussian_kl_zero_at_standard_normal(self):
+        mu = Tensor(np.zeros((4, 3)))
+        logvar = Tensor(np.zeros((4, 3)))
+        assert gaussian_kl(mu, logvar).item() == pytest.approx(0.0)
+
+    def test_gaussian_kl_positive_otherwise(self):
+        mu = Tensor(np.ones((4, 3)))
+        logvar = Tensor(np.zeros((4, 3)) - 1.0)
+        assert gaussian_kl(mu, logvar).item() > 0.0

@@ -1,0 +1,116 @@
+"""Tests of the MDL accounting: Eq. 1-8 identities and properties."""
+
+import math
+
+import pytest
+
+from repro.core.code_table import CoreCodeTable, StandardCodeTable
+from repro.core.inverted_db import InvertedDatabase
+from repro.core.mdl import (
+    astar_code_length,
+    conditional_entropy,
+    data_leaf_bits,
+    description_length,
+    row_code_length,
+    xlog2x,
+)
+
+
+def fs(*values):
+    return frozenset(values)
+
+
+class TestXlog2x:
+    def test_zero_convention(self):
+        assert xlog2x(0) == 0.0
+        assert xlog2x(-1) == 0.0
+
+    def test_values(self):
+        assert xlog2x(2) == pytest.approx(2.0)
+        assert xlog2x(8) == pytest.approx(24.0)
+
+
+class TestEquationEight:
+    def test_entropy_identity(self, paper_db):
+        """Eq. 8: L(I|M) == s * H(Y|X)."""
+        s = paper_db.total_frequency()
+        assert data_leaf_bits(paper_db) == pytest.approx(
+            s * conditional_entropy(paper_db)
+        )
+
+    def test_identity_survives_merges(self, paper_db):
+        paper_db.merge(fs("b"), fs("c"))
+        s = paper_db.total_frequency()
+        assert data_leaf_bits(paper_db) == pytest.approx(
+            s * conditional_entropy(paper_db)
+        )
+
+    def test_manual_value_on_paper_graph(self, paper_db):
+        """Recompute Eq. 8 by hand from the Fig. 2 rows."""
+        expected = 0.0
+        by_core = {}
+        for core, _leaf, frequency in paper_db.row_items():
+            by_core.setdefault(core, []).append(frequency)
+        for frequencies in by_core.values():
+            c = sum(frequencies)
+            expected += c * math.log2(c)
+            expected -= sum(f * math.log2(f) for f in frequencies)
+        assert data_leaf_bits(paper_db) == pytest.approx(expected)
+
+    def test_data_cost_nonnegative(self, paper_db):
+        assert data_leaf_bits(paper_db) >= 0.0
+
+
+class TestRowCodes:
+    def test_row_code_length_eq6(self, paper_db):
+        # Row ({c} core, {a} leaf): fL=2, fc=3.
+        assert row_code_length(paper_db, fs("c"), fs("a")) == pytest.approx(
+            -math.log2(2 / 3)
+        )
+
+    def test_astar_code_length_eq4(self, paper_db, paper_tables):
+        _standard, core_table = paper_tables
+        total = astar_code_length(paper_db, core_table, fs("c"), fs("a"))
+        assert total == pytest.approx(
+            core_table.code_length(fs("c")) + row_code_length(paper_db, fs("c"), fs("a"))
+        )
+
+    def test_missing_row_raises(self, paper_db):
+        with pytest.raises(ValueError):
+            row_code_length(paper_db, fs("c"), fs("zzz"))
+
+
+class TestDescriptionLength:
+    def test_breakdown_sums(self, paper_db, paper_tables):
+        standard, core = paper_tables
+        breakdown = description_length(paper_db, standard, core)
+        assert breakdown.total_bits == pytest.approx(
+            breakdown.model_bits + breakdown.data_bits
+        )
+        assert breakdown.model_bits == pytest.approx(
+            breakdown.model_core_bits + breakdown.model_leaf_bits
+        )
+
+    def test_all_components_nonnegative(self, paper_db, paper_tables):
+        standard, core = paper_tables
+        breakdown = description_length(paper_db, standard, core)
+        assert breakdown.model_core_bits >= 0
+        assert breakdown.model_leaf_bits >= 0
+        assert breakdown.data_leaf_bits >= 0
+        assert breakdown.data_core_bits >= 0
+
+    def test_merging_compressible_pair_reduces_total(
+        self, paper_db, paper_tables
+    ):
+        standard, core = paper_tables
+        before = description_length(paper_db, standard, core).total_bits
+        paper_db.merge(fs("b"), fs("c"))  # the paper's chosen merge
+        after = description_length(paper_db, standard, core).total_bits
+        assert after < before
+
+    def test_without_core_table(self, paper_db, paper_tables):
+        standard, _core = paper_tables
+        breakdown = description_length(paper_db, standard, None)
+        assert breakdown.model_core_bits == 0.0
+        assert breakdown.data_core_bits == 0.0
+        assert breakdown.data_leaf_bits > 0

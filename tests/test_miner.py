@@ -1,0 +1,128 @@
+"""Tests for the CSPM facade and its result object."""
+
+import pytest
+
+from repro.core.astar import AStar
+from repro.core.miner import CSPM
+from repro.errors import MiningError
+from repro.graphs.attributed_graph import AttributedGraph
+
+
+class TestConfiguration:
+    def test_invalid_method_rejected(self):
+        with pytest.raises(MiningError):
+            CSPM(method="alien")
+
+    def test_invalid_encoder_rejected(self):
+        with pytest.raises(MiningError):
+            CSPM(coreset_encoder="alien")
+
+    def test_empty_graph_rejected(self):
+        with pytest.raises(MiningError):
+            CSPM().fit(AttributedGraph())
+
+    def test_unattributed_graph_rejected(self):
+        graph = AttributedGraph.from_edges([(1, 2)])
+        with pytest.raises(MiningError):
+            CSPM().fit(graph)
+
+
+class TestResult:
+    def test_astars_sorted_by_code_length(self, planted_result):
+        lengths = [star.code_length for star in planted_result.astars]
+        assert lengths == sorted(lengths)
+
+    def test_compression_achieved(self, planted_result):
+        assert planted_result.compression_ratio < 1.0
+        assert planted_result.final_dl.total_bits < planted_result.initial_dl.total_bits
+
+    def test_top_k(self, planted_result):
+        top = planted_result.top(3)
+        assert len(top) == 3
+        assert top == planted_result.astars[:3]
+
+    def test_filter_by_leafset_size(self, planted_result):
+        filtered = planted_result.filter(min_leafset_size=2)
+        assert all(len(star.leafset) >= 2 for star in filtered)
+
+    def test_filter_by_core_value(self, planted_result):
+        filtered = planted_result.filter(core_value="core-a")
+        assert filtered
+        assert all("core-a" in star.coreset for star in filtered)
+
+    def test_filter_by_frequency(self, planted_result):
+        filtered = planted_result.filter(min_frequency=3)
+        assert all(star.frequency >= 3 for star in filtered)
+
+    def test_iteration_and_len(self, planted_result):
+        assert len(list(planted_result)) == len(planted_result)
+
+    def test_summary_mentions_algorithm(self, planted_result):
+        assert "cspm-partial" in planted_result.summary()
+
+    def test_astars_frequencies_consistent(self, planted_result):
+        for star in planted_result.astars:
+            assert 0 < star.frequency <= star.coreset_frequency
+            assert star.code_length > 0 or star.frequency == star.coreset_frequency
+
+
+class TestRecovery:
+    def test_planted_patterns_recovered(self, planted, planted_result):
+        """The planted correlations surface as merged leafsets."""
+        _graph, truth = planted
+        for pattern in truth.patterns:
+            stars = planted_result.filter(core_value=pattern.core_value)
+            assert stars, f"no a-star with core {pattern.core_value}"
+            covered = set()
+            for star in stars:
+                covered |= set(star.leafset)
+            assert set(pattern.leaf_values) <= covered
+
+    def test_merged_leafsets_exist(self, planted_result):
+        assert planted_result.filter(min_leafset_size=2)
+
+
+class TestBasicVsPartialFacade:
+    def test_same_model_both_methods(self, planted):
+        graph, _ = planted
+        result_basic = CSPM(method="basic").fit(graph)
+        result_partial = CSPM(method="partial").fit(graph)
+        assert result_basic.final_dl.total_bits == pytest.approx(
+            result_partial.final_dl.total_bits, abs=1e-6
+        )
+        assert [s.sort_key() for s in result_basic.astars] == [
+            s.sort_key() for s in result_partial.astars
+        ]
+
+    def test_related_scope_runs(self, planted):
+        graph, _ = planted
+        result = CSPM(method="partial", partial_update_scope="related").fit(graph)
+        assert result.astars
+        result.inverted_db.validate(graph)
+
+
+class TestAStarSemantics:
+    def test_matches_at(self, paper_graph):
+        star = AStar(coreset={"a"}, leafset={"b", "c"})
+        assert star.matches_at(paper_graph, 1)
+        assert not star.matches_at(paper_graph, 4)
+
+    def test_occurrences(self, paper_graph):
+        star = AStar(coreset={"a"}, leafset={"b", "c"})
+        assert star.occurrences(paper_graph) == frozenset({1, 5})
+
+    def test_mined_astar_occurs_in_graph(self, planted, planted_result):
+        graph, _ = planted
+        for star in planted_result.top(10):
+            # Every cover position is a genuine occurrence, so the
+            # pattern's usage never exceeds its occurrence count.
+            assert star.frequency <= len(star.occurrences(graph))
+
+    def test_confidence(self):
+        star = AStar(coreset={"a"}, leafset={"b"}, frequency=2, coreset_frequency=4)
+        assert star.confidence == 0.5
+
+    def test_str_contains_sets(self):
+        star = AStar(coreset={"a"}, leafset={"b"}, frequency=1, coreset_frequency=2)
+        text = str(star)
+        assert "{a}" in text and "{b}" in text

@@ -1,0 +1,133 @@
+"""Tests for the Algorithm 5 scoring module."""
+
+import math
+
+import pytest
+
+from repro.core.astar import AStar
+from repro.core.scoring import AStarScorer, leafset_weight
+from repro.errors import MiningError
+from repro.graphs.attributed_graph import AttributedGraph
+
+
+def star(core, leaves, code_length):
+    return AStar(
+        coreset=frozenset(core),
+        leafset=frozenset(leaves),
+        frequency=2,
+        coreset_frequency=4,
+        code_length=code_length,
+    )
+
+
+@pytest.fixture()
+def small_graph():
+    return AttributedGraph.from_edges(
+        [(0, 1), (0, 2), (3, 4)],
+        {0: set(), 1: {"x"}, 2: {"y"}, 3: set(), 4: {"z"}},
+    )
+
+
+class TestLeafsetWeight:
+    def test_full_match_has_minimal_weight(self):
+        assert leafset_weight(frozenset({"x"}), frozenset({"x", "y"})) == 1.0
+
+    def test_no_match_has_maximal_weight(self):
+        assert leafset_weight(frozenset({"q"}), frozenset({"x"})) == 2.0
+
+    def test_partial_match_in_between(self):
+        weight = leafset_weight(frozenset({"x", "q"}), frozenset({"x"}))
+        assert 1.0 < weight < 2.0
+
+    def test_empty_leafset_maximal(self):
+        assert leafset_weight(frozenset(), frozenset({"x"})) == 2.0
+
+    def test_monotone_in_containment(self):
+        neighbours = frozenset({"x", "y", "z"})
+        weights = [
+            leafset_weight(frozenset({"x", "y", "q", "r"}), neighbours),
+            leafset_weight(frozenset({"x", "q"}), neighbours),
+            leafset_weight(frozenset({"x", "y"}), neighbours),
+        ]
+        assert weights[2] < weights[0]
+        assert weights[2] < weights[1]
+
+
+class TestScorer:
+    def test_empty_model_rejected(self):
+        with pytest.raises(MiningError):
+            AStarScorer([])
+
+    def test_matching_core_scores_higher(self, small_graph):
+        scorer = AStarScorer(
+            [
+                star({"a"}, {"x", "y"}, code_length=3.0),
+                star({"b"}, {"q"}, code_length=3.0),
+            ]
+        )
+        scores = scorer.score(small_graph, 0)
+        # a's leafset fully matches vertex 0's neighbourhood {x, y};
+        # b's does not match at all -> a must score higher.
+        assert scores["a"] > scores["b"]
+
+    def test_shorter_code_scores_higher_when_match_equal(self, small_graph):
+        scorer = AStarScorer(
+            [
+                star({"a"}, {"x"}, code_length=2.0),
+                star({"b"}, {"x"}, code_length=6.0),
+            ]
+        )
+        scores = scorer.score(small_graph, 0)
+        assert scores["a"] > scores["b"]
+
+    def test_best_astar_wins_per_value(self, small_graph):
+        scorer = AStarScorer(
+            [
+                star({"a"}, {"q"}, code_length=2.0),  # mismatch: -4.0
+                star({"a"}, {"x"}, code_length=3.0),  # match: -3.0
+            ]
+        )
+        scores = scorer.score(small_graph, 0)
+        assert scores["a"] == pytest.approx(-3.0)
+
+    def test_explicit_neighbour_values_override(self, small_graph):
+        scorer = AStarScorer([star({"a"}, {"z"}, code_length=2.0)])
+        via_graph = scorer.score(small_graph, 0)
+        via_override = scorer.score(small_graph, 0, neighbour_values={"z"})
+        assert via_override["a"] > via_graph["a"]
+
+    def test_score_array_alignment(self, small_graph):
+        scorer = AStarScorer([star({"a"}, {"x"}, code_length=2.0)])
+        array = scorer.score_array(["a", "zzz"], small_graph, 0)
+        assert array[0] > -math.inf
+        assert array[1] == -math.inf
+
+    def test_core_values_property(self):
+        scorer = AStarScorer([star({"a", "b"}, {"x"}, code_length=1.0)])
+        assert scorer.core_values == frozenset({"a", "b"})
+
+    def test_scorer_accepts_cspm_result(self, planted_result, planted):
+        graph, _ = planted
+        scorer = AStarScorer(planted_result)
+        vertex = next(iter(graph.vertices()))
+        scores = scorer.score(graph, vertex)
+        assert scores
+        assert all(math.isfinite(v) for v in scores.values())
+
+    def test_planted_core_recovered_by_scoring(self, planted, planted_result):
+        """Hiding a core carrier's attributes, the scorer should rank
+        the planted core value near the top given its neighbours."""
+        graph, truth = planted
+        scorer = AStarScorer(planted_result)
+        pattern = truth.patterns[0]
+        carriers = [
+            v
+            for v in truth.core_positions[pattern.core_value]
+            if set(pattern.leaf_values) <= set(graph.neighbor_values(v))
+        ]
+        if not carriers:
+            pytest.skip("no fully-expressed carrier in this seed")
+        vertex = carriers[0]
+        scores = scorer.score(graph, vertex)
+        ranked = sorted(scores, key=lambda value: -scores[value])
+        assert pattern.core_value in ranked[: max(3, len(ranked) // 3)]
