@@ -17,6 +17,7 @@ import time
 import pytest
 
 from benchmarks.conftest import bench_scale
+from repro.config import CSPMConfig
 from repro.core.miner import CSPM
 from repro.datasets import load_dataset
 
@@ -28,11 +29,11 @@ def dblp_graph():
 
 def test_ablation_model_cost(dblp_graph, report_writer, benchmark):
     with_cost = benchmark.pedantic(
-        lambda: CSPM(include_model_cost=True).fit(dblp_graph),
+        lambda: CSPM(config=CSPMConfig(include_model_cost=True)).fit(dblp_graph),
         rounds=1,
         iterations=1,
     )
-    without_cost = CSPM(include_model_cost=False).fit(dblp_graph)
+    without_cost = CSPM(config=CSPMConfig(include_model_cost=False)).fit(dblp_graph)
     lines = [
         "Ablation: Section IV-E model-cost term in the candidate gain",
         f"{'variant':<16}{'total DL':>12}{'data DL':>12}{'model DL':>12}"
@@ -61,12 +62,12 @@ def test_ablation_model_cost(dblp_graph, report_writer, benchmark):
 
 def test_ablation_update_scope(dblp_graph, report_writer, benchmark):
     basic = benchmark.pedantic(
-        lambda: CSPM(method="basic").fit(dblp_graph), rounds=1, iterations=1
+        lambda: CSPM(config=CSPMConfig(method="basic")).fit(dblp_graph), rounds=1, iterations=1
     )
-    exhaustive = CSPM(method="partial", partial_update_scope="exhaustive").fit(
+    exhaustive = CSPM(config=CSPMConfig(method="partial", partial_update_scope="exhaustive")).fit(
         dblp_graph
     )
-    related = CSPM(method="partial", partial_update_scope="related").fit(
+    related = CSPM(config=CSPMConfig(method="partial", partial_update_scope="related")).fit(
         dblp_graph
     )
     lines = [
@@ -103,7 +104,7 @@ def test_ablation_update_scope(dblp_graph, report_writer, benchmark):
 def test_ablation_coreset_encoder(report_writer, benchmark):
     graph = load_dataset("usflight", scale=1.0, seed=0)
     benchmark.pedantic(
-        lambda: CSPM(coreset_encoder="slim").fit(graph), rounds=1, iterations=1
+        lambda: CSPM(config=CSPMConfig(coreset_encoder="slim")).fit(graph), rounds=1, iterations=1
     )
     lines = [
         "Ablation: coreset encoder (Section IV-F step 1)",
@@ -112,7 +113,7 @@ def test_ablation_coreset_encoder(report_writer, benchmark):
     ]
     for encoder in ("singleton", "slim"):
         start = time.perf_counter()
-        result = CSPM(coreset_encoder=encoder).fit(graph)
+        result = CSPM(config=CSPMConfig(coreset_encoder=encoder)).fit(graph)
         seconds = time.perf_counter() - start
         coresets = {star.coreset for star in result.astars}
         multi = sum(1 for c in coresets if len(c) > 1)

@@ -12,6 +12,7 @@ from __future__ import annotations
 import pytest
 
 from benchmarks.conftest import bench_scale
+from repro.config import CSPMConfig
 from repro.core.miner import CSPM
 from repro.datasets import load_dataset
 
@@ -38,13 +39,13 @@ def traces():
     for label, name, base_scale in DATASETS:
         effective = None if base_scale is None else base_scale * scale
         graph = load_dataset(name, scale=effective, seed=0)
-        partial = CSPM(method="partial").fit(graph).trace
+        partial = CSPM(config=CSPMConfig(method="partial")).fit(graph).trace
         # Basic's ratio is 1.0 by construction; run it only on the
         # smaller graphs to keep the suite fast (Pokec mirrors the
         # paper's timeout).
         basic = None
         if label != "Pokec":
-            basic = CSPM(method="basic").fit(graph).trace
+            basic = CSPM(config=CSPMConfig(method="basic")).fit(graph).trace
         collected[label] = (basic, partial)
     return collected
 

@@ -14,7 +14,8 @@ from __future__ import annotations
 import pytest
 
 from benchmarks.conftest import bench_scale
-from repro.core.miner import CSPM
+from repro.batch import fit_many
+from repro.config import CSPMConfig
 from repro.datasets import load_dataset
 
 _DM_VENUES = {"ICDM", "EDBT", "PODS", "KDD", "SDM", "DMKD", "PAKDD"}
@@ -25,7 +26,7 @@ _OLDER_TASTES = {"oldies", "folk", "country", "dychovka", "disko"}
 @pytest.fixture(scope="module")
 def results():
     scale = bench_scale()
-    mined = {}
+    names, graphs = [], []
     for name, base_scale in (
         ("dblp", 1.0),
         ("dblp-trend", 1.0),
@@ -33,9 +34,10 @@ def results():
         ("pokec", None),
     ):
         effective = None if base_scale is None else base_scale * scale
-        graph = load_dataset(name, scale=effective, seed=0)
-        mined[name] = CSPM().fit(graph)
-    return mined
+        names.append(name)
+        graphs.append(load_dataset(name, scale=effective, seed=0))
+    batch = fit_many(graphs, CSPMConfig())
+    return {name: run.result for name, run in zip(names, batch)}
 
 
 def _top_lines(result, core_value=None, k=5):

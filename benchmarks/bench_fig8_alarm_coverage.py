@@ -22,6 +22,7 @@ from repro.alarms import (
     simulate_alarms,
 )
 from repro.alarms.analysis import area_under_coverage
+from repro.config import CSPMConfig
 
 TOP_KS = [50, 100, 250, 500, 750, 1000, 1250, 1500, 2000]
 
@@ -45,7 +46,7 @@ def ranked_pairs():
     )
     return (
         library,
-        cspm_rank_pairs(simulation),
+        cspm_rank_pairs(simulation, config=CSPMConfig(method="partial")),
         acor_rank_pairs(simulation),
     )
 

@@ -14,6 +14,7 @@ import time
 import pytest
 
 from benchmarks.conftest import bench_scale
+from repro.config import CSPMConfig
 from repro.core.miner import CSPM
 from repro.datasets import load_dataset
 from repro.itemsets.slim import slim_on_graph
@@ -41,11 +42,11 @@ def runtimes():
         basic_seconds = None
         if run_basic:
             start = time.perf_counter()
-            CSPM(method="basic").fit(graph)
+            CSPM(config=CSPMConfig(method="basic")).fit(graph)
             basic_seconds = time.perf_counter() - start
 
         start = time.perf_counter()
-        CSPM(method="partial").fit(graph)
+        CSPM(config=CSPMConfig(method="partial")).fit(graph)
         partial_seconds = time.perf_counter() - start
 
         rows.append((label, slim_seconds, basic_seconds, partial_seconds))
@@ -73,7 +74,7 @@ def test_table3_runtime(runtimes, report_writer, benchmark):
 def test_benchmark_cspm_partial_dblp(benchmark):
     graph = load_dataset("dblp", scale=bench_scale(), seed=0)
     benchmark.pedantic(
-        lambda: CSPM(method="partial").fit(graph), rounds=1, iterations=1
+        lambda: CSPM(config=CSPMConfig(method="partial")).fit(graph), rounds=1, iterations=1
     )
 
 

@@ -16,6 +16,7 @@ import pytest
 
 from benchmarks.conftest import bench_scale
 from repro.completion.experiment import run_completion_experiment
+from repro.config import CSPMConfig
 from repro.datasets import load_dataset
 
 MODELS = ["neighaggre", "vae", "gcn", "gat", "graphsage", "sat"]
@@ -42,6 +43,7 @@ def reports():
             test_fraction=0.4,
             seed=0,
             model_kwargs=FAST_EPOCHS,
+            cspm_config=CSPMConfig(method="partial"),
         )
     return produced
 

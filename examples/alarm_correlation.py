@@ -10,6 +10,7 @@ Usage::
     python examples/alarm_correlation.py
 """
 
+from repro import CSPMConfig
 from repro.alarms import (
     acor_rank_pairs,
     coverage_curve,
@@ -51,7 +52,7 @@ def main() -> None:
         f"{simulation.num_windows} windows"
     )
 
-    cspm_ranked = cspm_rank_pairs(simulation)
+    cspm_ranked = cspm_rank_pairs(simulation, config=CSPMConfig(method="partial"))
     acor_ranked = acor_rank_pairs(simulation)
     print("\ntop CSPM alarm rules (* = in the planted library):")
     truth = set(library.pair_rules())

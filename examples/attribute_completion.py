@@ -10,6 +10,7 @@ Usage::
     python examples/attribute_completion.py
 """
 
+from repro import CSPMConfig
 from repro.completion.experiment import run_completion_experiment
 from repro.datasets import cora_like
 
@@ -24,6 +25,7 @@ def main() -> None:
         models=["neighaggre", "vae", "gcn"],
         test_fraction=0.4,
         seed=0,
+        cspm_config=CSPMConfig(method="partial"),
     )
     print()
     print(report.as_table())

@@ -1,22 +1,33 @@
 """Quickstart: mine attribute-stars from a small attributed graph.
 
 Runs CSPM on the paper's running example (Fig. 1) and on a slightly
-larger social-style graph, printing the mined a-stars, their code
-lengths, and the achieved compression.
+larger social-style graph, showing the three spellings of the public
+API:
+
+1. the ``CSPM`` facade with a typed :class:`repro.CSPMConfig`;
+2. the composable :class:`repro.MiningPipeline` with a custom stage;
+3. the batch entry point :func:`repro.fit_many` plus JSON round-trips.
 
 Usage::
 
     python examples/quickstart.py
 """
 
-from repro import CSPM, AttributedGraph
+from repro import (
+    CSPM,
+    AttributedGraph,
+    CSPMConfig,
+    CSPMResult,
+    MiningPipeline,
+    fit_many,
+)
 from repro.graphs.builders import paper_running_example
 
 
 def mine_and_report(graph: AttributedGraph, title: str) -> None:
     print(f"=== {title}")
     print(f"graph: {graph}")
-    result = CSPM().fit(graph)
+    result = CSPM(config=CSPMConfig()).fit(graph)
     print(result.summary())
     print("a-stars (ascending code length = descending informativeness):")
     for star in result.astars:
@@ -50,10 +61,36 @@ def main() -> None:
     graph = AttributedGraph.from_edges(edges, attributes)
     mine_and_report(graph, "tiny social network")
 
+    # 3. The explicit pipeline: the same four stages CSPM.fit runs,
+    #    plus a custom instrumentation tap inserted before the search.
+    def tap(context) -> None:
+        print(
+            f"[tap] inverted DB has {context.inverted_db.num_rows} rows "
+            f"over {len(list(context.core_table.coresets()))} coresets"
+        )
+
+    pipeline = MiningPipeline.default(CSPMConfig(top_k=5)).with_stage(
+        tap, before="Search"
+    )
+    result = pipeline.run(graph)
+    print("top-5 via pipeline:")
+    for star in result.astars:
+        print(f"  {star}")
+
+    # The result object is fully serialisable (everything but the raw
+    # inverted database) — ready for caching or a service response.
+    payload = result.to_json()
+    restored = CSPMResult.from_json(payload)
+    assert restored.astars == result.astars
+    print(f"\nJSON round-trip: {len(payload)} bytes, ranking preserved")
+
+    # 4. Batch mining: one config over many graphs, with per-run timing.
+    batch = fit_many([paper_running_example(), graph], CSPMConfig())
+    print("\n" + batch.summary())
+
     # The same result object also exposes the run trace used by the
     # paper's efficiency experiments (Fig. 5).
-    result = CSPM().fit(graph)
-    ratios = result.trace.update_ratios()
+    ratios = batch[1].result.trace.update_ratios()
     print("per-iteration gain update ratios:", [round(r, 3) for r in ratios])
 
 

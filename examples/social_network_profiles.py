@@ -11,7 +11,7 @@ Usage::
     python examples/social_network_profiles.py
 """
 
-from repro import CSPM, AStarScorer
+from repro import CSPM, AStarScorer, CSPMConfig
 from repro.datasets import pokec_like
 
 
@@ -19,7 +19,7 @@ def main() -> None:
     graph = pokec_like(seed=7)
     print(f"Pokec-style network: {graph}")
 
-    result = CSPM().fit(graph)
+    result = CSPM(config=CSPMConfig(method="partial")).fit(graph)
     print(result.summary())
     print("\nmost informative music-taste patterns (leafset size >= 2):")
     for star in result.filter(min_leafset_size=2)[:8]:

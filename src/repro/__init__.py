@@ -13,6 +13,12 @@ The package is organised around the paper's pipeline:
     The paper's primary contribution: the inverted database, MDL
     accounting, the CSPM-Basic and CSPM-Partial search procedures, and
     the a-star scoring module (Algorithm 5).
+``repro.config`` / ``repro.pipeline`` / ``repro.batch``
+    The public API surface: the frozen :class:`CSPMConfig`, the
+    composable :class:`MiningPipeline` (encode coresets -> inverted DB
+    -> search -> rank & filter), and the multi-graph :func:`fit_many`
+    batch runner.  ``CSPM`` is a thin facade over the default
+    pipeline.
 ``repro.itemsets``
     Krimp and SLIM, the MDL itemset miners used both as the multi-value
     coreset encoder (Section IV-F) and as the runtime baseline of
@@ -28,33 +34,65 @@ The package is organised around the paper's pipeline:
 
 Quickstart::
 
-    from repro import CSPM, AttributedGraph
+    from repro import CSPM, CSPMConfig, AttributedGraph, fit_many
 
     graph = AttributedGraph.from_edges(
         edges=[(1, 2), (1, 3)],
         attributes={1: {"a"}, 2: {"a", "c"}, 3: {"c"}},
     )
-    result = CSPM().fit(graph)
+
+    # One graph, default settings (equivalent: CSPM().fit(graph)).
+    config = CSPMConfig(method="partial", top_k=5)
+    result = CSPM(config=config).fit(graph)
     for star in result.top(5):
         print(star)
+    payload = result.to_json()          # ship it; from_json round-trips
+
+    # Many graphs, one config, optional process-parallel execution.
+    batch = fit_many([graph, graph], config, n_jobs=2, executor="process")
+
+    # Custom stages via the explicit pipeline.
+    from repro import MiningPipeline
+    pipeline = MiningPipeline.default(config).with_stage(
+        lambda ctx: print("rows:", ctx.inverted_db.num_rows),
+        before="Search",
+    )
+    result = pipeline.run(graph)
 """
 
+from repro.batch import BatchResult, BatchRun, fit_many
+from repro.config import CSPMConfig
 from repro.core.astar import AStar
-from repro.core.miner import CSPM, CSPMResult
+from repro.core.miner import CSPM
+from repro.core.result import CSPMResult
 from repro.core.scoring import AStarScorer
-from repro.errors import GraphError, MiningError, ReproError
+from repro.errors import (
+    ConfigError,
+    GraphError,
+    MiningError,
+    ReproError,
+)
 from repro.graphs.attributed_graph import AttributedGraph
+from repro.pipeline import MiningPipeline, PipelineContext, PipelineStage
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "AStar",
     "AStarScorer",
     "AttributedGraph",
+    "BatchResult",
+    "BatchRun",
     "CSPM",
+    "CSPMConfig",
     "CSPMResult",
+    "ConfigError",
     "GraphError",
     "MiningError",
+    "MiningPipeline",
+    "PipelineContext",
+    "PipelineStage",
     "ReproError",
+    "fit_many",
     "__version__",
 ]

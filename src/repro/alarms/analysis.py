@@ -10,10 +10,11 @@ protocol the paper describes.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.alarms.generator import AlarmSimulation
 from repro.alarms.types import PairRule
+from repro.config import CSPMConfig
 from repro.core.miner import CSPM, CSPMResult
 
 
@@ -22,11 +23,13 @@ def cspm_rank_pairs(
     result: CSPMResult = None,
     max_pairs: int = None,
     min_frequency: int = 2,
+    config: Optional[CSPMConfig] = None,
 ) -> List[Tuple[PairRule, float]]:
     """Ranked directed pair rules extracted from mined a-stars.
 
     ``result`` may be supplied to reuse an existing mining run;
-    otherwise CSPM-Partial is run on the simulation's attributed graph.
+    otherwise CSPM is run on the simulation's attributed graph under
+    ``config`` (default: CSPM-Partial with the paper's settings).
     Pairs inherit the (ascending) code length of the best a-star that
     produced them; the returned score is ``-code_length`` so that
     higher means better for both algorithms.
@@ -37,7 +40,7 @@ def cspm_rank_pairs(
     has code length 0 regardless of how accidental it is.
     """
     if result is None:
-        result = CSPM().fit(simulation.to_attributed_graph())
+        result = CSPM(config=config).fit(simulation.to_attributed_graph())
     best: Dict[PairRule, float] = {}
     for star in result.astars:  # already sorted by ascending code length
         if star.frequency < min_frequency:

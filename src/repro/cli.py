@@ -3,11 +3,16 @@
 Subcommands::
 
     python -m repro.cli mine <graph.json>        # mine + print a-stars
+    python -m repro.cli mine <graph.json> --json # machine-readable run
     python -m repro.cli stats <graph.json>       # Table II style stats
     python -m repro.cli datasets                 # list dataset analogues
     python -m repro.cli generate <name> out.json # write an analogue
     python -m repro.cli alarms                   # Fig. 8 style comparison
 
+Every subcommand goes through the typed public API: mining options are
+collected into a :class:`repro.config.CSPMConfig` and handed to the
+default :class:`repro.pipeline.MiningPipeline` via the ``CSPM`` facade,
+so the CLI exercises exactly the code path library consumers use.
 Graphs are exchanged in the JSON format of :mod:`repro.graphs.io`.
 """
 
@@ -17,6 +22,7 @@ import argparse
 import sys
 from typing import List, Optional
 
+from repro.config import ENCODERS, METHODS, UPDATE_SCOPES, CSPMConfig
 from repro.core.miner import CSPM
 from repro.datasets import available_datasets, load_dataset
 from repro.graphs.io import load_json, save_json
@@ -26,16 +32,34 @@ from repro.graphs.stats import graph_stats
 def _add_mine(subparsers) -> None:
     parser = subparsers.add_parser("mine", help="mine a-stars from a graph")
     parser.add_argument("graph", help="path to a graph JSON file")
-    parser.add_argument("--method", choices=("partial", "basic"), default="partial")
+    parser.add_argument("--method", choices=METHODS, default="partial")
     parser.add_argument(
         "--encoder",
-        choices=("singleton", "slim", "krimp"),
+        choices=ENCODERS,
         default="singleton",
         help="coreset encoder (Section IV-F)",
     )
-    parser.add_argument("--top", type=int, default=20, help="patterns to print")
+    parser.add_argument(
+        "--scope",
+        choices=UPDATE_SCOPES,
+        default="exhaustive",
+        help="partial-update scope (Algorithm 4)",
+    )
+    parser.add_argument(
+        "--top",
+        type=int,
+        default=None,
+        help="patterns to keep (0 = keep all; default: 20 for text "
+        "output, all for --json)",
+    )
     parser.add_argument(
         "--min-leafset", type=int, default=1, help="minimum leafset size"
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the full serialised result (config, a-stars, trace, "
+        "DL accounting) as JSON instead of text",
     )
 
 
@@ -63,6 +87,12 @@ def _add_alarms(subparsers) -> None:
     parser.add_argument("--devices", type=int, default=80)
     parser.add_argument("--windows", type=int, default=150)
     parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument(
+        "--method",
+        choices=METHODS,
+        default="partial",
+        help="CSPM search variant used for rule extraction",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -79,11 +109,41 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _mine_config(args) -> CSPMConfig:
+    """The CSPMConfig described by the ``mine`` arguments.
+
+    In ``--json`` mode the ``--top``/``--min-leafset`` post-filters go
+    into the config (and hence into the serialised result); in text
+    mode they only trim the printout, so the summary reports the true
+    mined counts — matching how the miner behaves without a CLI.
+    """
+    post_filters = {}
+    if args.json:
+        post_filters = {
+            "top_k": args.top if args.top and args.top > 0 else None,
+            "min_leafset": max(1, args.min_leafset),
+        }
+    return CSPMConfig(
+        method=args.method,
+        coreset_encoder=args.encoder,
+        partial_update_scope=args.scope,
+        **post_filters,
+    )
+
+
 def _command_mine(args) -> int:
     graph = load_json(args.graph)
-    result = CSPM(method=args.method, coreset_encoder=args.encoder).fit(graph)
+    config = _mine_config(args)
+    result = CSPM(config=config).fit(graph)
+    if args.json:
+        print(result.to_json(indent=2))
+        return 0
     print(result.summary())
-    for star in result.filter(min_leafset_size=args.min_leafset)[: args.top]:
+    top = args.top if args.top is not None else 20
+    stars = result.filter(min_leafset_size=max(1, args.min_leafset))
+    if top > 0:
+        stars = stars[:top]
+    for star in stars:
         print(f"  {star}")
     return 0
 
@@ -129,7 +189,10 @@ def _command_alarms(args) -> int:
     )
     top_ks = [50, 100, 250, 500, 1000, 2000]
     truth = library.pair_rules()
-    cspm_curve = coverage_curve(cspm_rank_pairs(simulation), truth, top_ks)
+    config = CSPMConfig(method=args.method)
+    cspm_curve = coverage_curve(
+        cspm_rank_pairs(simulation, config=config), truth, top_ks
+    )
     acor_curve = coverage_curve(acor_rank_pairs(simulation), truth, top_ks)
     print("top-K :" + "".join(f"{k:>7}" for k in top_ks))
     print("CSPM  :" + "".join(f"{v:>7.2f}" for v in cspm_curve))

@@ -16,6 +16,7 @@ import numpy as np
 from repro.completion.fusion import cspm_score_matrix, fuse_scores
 from repro.completion.metrics import evaluate_all
 from repro.completion.task import make_completion_data
+from repro.config import CSPMConfig
 from repro.core.miner import CSPM
 from repro.core.scoring import AStarScorer
 from repro.graphs.attributed_graph import AttributedGraph
@@ -84,15 +85,20 @@ def run_completion_experiment(
     test_fraction: float = 0.4,
     seed: int = 0,
     model_kwargs: Optional[Dict[str, dict]] = None,
+    cspm_config: Optional[CSPMConfig] = None,
 ) -> CompletionReport:
-    """Run all baselines +- CSPM on one dataset (one Table IV block)."""
+    """Run all baselines +- CSPM on one dataset (one Table IV block).
+
+    ``cspm_config`` parameterises the mining run used for score fusion
+    (default: the paper's CSPM-Partial settings).
+    """
     data = make_completion_data(graph, test_fraction=test_fraction, seed=seed)
     report = CompletionReport(dataset=dataset_name, ks=tuple(ks))
     names = list(models) if models is not None else model_names()
     model_kwargs = model_kwargs or {}
 
     # Mine a-stars on the observed (attribute-missing) graph only.
-    cspm_result = CSPM().fit(data.observed_graph)
+    cspm_result = CSPM(config=cspm_config).fit(data.observed_graph)
     scorer = AStarScorer(cspm_result)
     test_rows = data.test_rows()
     cspm_scores = cspm_score_matrix(scorer, data, rows=test_rows)

@@ -1,0 +1,158 @@
+"""Typed run configuration: the single source of truth for CSPM knobs.
+
+Every consumer of the miner — the :class:`repro.CSPM` facade, the
+composable :class:`repro.pipeline.MiningPipeline`, the batch runner
+:func:`repro.batch.fit_many`, the CLI, the benchmarks — is driven by a
+:class:`CSPMConfig`.  The config is
+
+* **frozen**: a run's parameters cannot drift mid-pipeline;
+* **validated at construction**: an invalid knob fails immediately with
+  :class:`~repro.errors.ConfigError` (a :class:`~repro.errors.MiningError`),
+  not deep inside the search;
+* **round-trippable**: ``CSPMConfig.from_dict(cfg.to_dict()) == cfg``,
+  so configs can travel through JSON job descriptions unchanged.
+
+CSPM remains parameter-free in the paper's sense: the knobs select
+*variants* (search strategy, coreset encoder, ablations) and output
+post-filters, not data-dependent thresholds.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Any, Dict, Mapping, Optional, Tuple
+
+from repro.errors import ConfigError
+
+METHODS: Tuple[str, ...] = ("partial", "basic")
+ENCODERS: Tuple[str, ...] = ("singleton", "slim", "krimp")
+UPDATE_SCOPES: Tuple[str, ...] = ("exhaustive", "related")
+
+
+@dataclass(frozen=True)
+class CSPMConfig:
+    """The full parameterisation of one CSPM run.
+
+    Attributes
+    ----------
+    method:
+        ``"partial"`` (default, Algorithm 3-4) or ``"basic"``
+        (Algorithm 1-2).
+    coreset_encoder:
+        ``"singleton"`` (default — CTc equals the standard code table,
+        Section IV-C), ``"slim"`` or ``"krimp"`` for multi-value
+        coresets mined on the vertex-attribute transactions
+        (Section IV-F, step 1).
+    include_model_cost:
+        Whether candidate gains subtract the code-table cost of the new
+        leafset (Section IV-E).  ``True`` by default; ablated in the
+        benchmarks.
+    max_iterations:
+        Optional safety cap on the number of merges (``None`` = run to
+        convergence, as the paper does).
+    partial_update_scope:
+        For ``method="partial"``: ``"exhaustive"`` (default; guarantees
+        the same merges as CSPM-Basic while updating only an affected
+        neighbourhood) or ``"related"`` (the paper's Algorithm 4 rdict
+        heuristic, cheapest but may miss late candidates).
+    top_k:
+        Post-filter: keep only the ``top_k`` best-ranked a-stars in the
+        result (``None`` = keep all).  Applied by the RankAndFilter
+        pipeline stage after the search terminates — it never changes
+        which merges happen.
+    min_leafset:
+        Post-filter: drop a-stars whose leafset is smaller than this
+        (default 1 = keep all).  Applied with ``top_k``.
+    """
+
+    method: str = "partial"
+    coreset_encoder: str = "singleton"
+    include_model_cost: bool = True
+    max_iterations: Optional[int] = None
+    partial_update_scope: str = "exhaustive"
+    top_k: Optional[int] = None
+    min_leafset: int = 1
+
+    def __post_init__(self) -> None:
+        if self.method not in METHODS:
+            raise ConfigError(
+                f"method must be one of {METHODS}, got {self.method!r}"
+            )
+        if self.coreset_encoder not in ENCODERS:
+            raise ConfigError(
+                f"coreset_encoder must be one of {ENCODERS}, "
+                f"got {self.coreset_encoder!r}"
+            )
+        if self.partial_update_scope not in UPDATE_SCOPES:
+            raise ConfigError(
+                f"partial_update_scope must be one of {UPDATE_SCOPES}, "
+                f"got {self.partial_update_scope!r}"
+            )
+        if not isinstance(self.include_model_cost, bool):
+            raise ConfigError(
+                f"include_model_cost must be a bool, "
+                f"got {self.include_model_cost!r}"
+            )
+        if self.max_iterations is not None and not (
+            isinstance(self.max_iterations, int)
+            and not isinstance(self.max_iterations, bool)
+            and self.max_iterations >= 0
+        ):
+            raise ConfigError(
+                f"max_iterations must be None or a non-negative int, "
+                f"got {self.max_iterations!r}"
+            )
+        if self.top_k is not None and not (
+            isinstance(self.top_k, int)
+            and not isinstance(self.top_k, bool)
+            and self.top_k >= 1
+        ):
+            raise ConfigError(
+                f"top_k must be None or a positive int, got {self.top_k!r}"
+            )
+        if not (
+            isinstance(self.min_leafset, int)
+            and not isinstance(self.min_leafset, bool)
+            and self.min_leafset >= 1
+        ):
+            raise ConfigError(
+                f"min_leafset must be a positive int, got {self.min_leafset!r}"
+            )
+
+    # ------------------------------------------------------------------
+    # Derivation and serialisation
+    # ------------------------------------------------------------------
+
+    def replace(self, **changes: Any) -> "CSPMConfig":
+        """A new config with ``changes`` applied (re-validated)."""
+        try:
+            return dataclasses.replace(self, **changes)
+        except TypeError as exc:
+            raise ConfigError(str(exc)) from None
+
+    def to_dict(self) -> Dict[str, Any]:
+        """A JSON-serialisable mapping of every field."""
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, document: Mapping[str, Any]) -> "CSPMConfig":
+        """Rebuild a config from :meth:`to_dict` output.
+
+        Unknown keys are rejected so that typos in job descriptions
+        fail loudly instead of silently running with defaults.
+        """
+        known = {field.name for field in dataclasses.fields(cls)}
+        unknown = sorted(set(document) - known)
+        if unknown:
+            raise ConfigError(f"unknown config fields: {unknown}")
+        return cls(**dict(document))
+
+    def describe(self) -> str:
+        """The non-default fields as ``key=value`` text (or ``defaults``)."""
+        parts = []
+        for field in dataclasses.fields(self):
+            value = getattr(self, field.name)
+            if value != field.default:
+                parts.append(f"{field.name}={value!r}")
+        return ", ".join(parts) if parts else "defaults"

@@ -8,7 +8,7 @@ An a-star ``S = (Sc, SL)`` (paper, Section IV-A) consists of a *coreset*
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import FrozenSet, Hashable, Iterable, Tuple
+from typing import Any, Dict, FrozenSet, Hashable, Iterable, Mapping, Tuple
 
 from repro.graphs.attributed_graph import AttributedGraph
 
@@ -72,6 +72,31 @@ class AStar:
         """All vertices whose star this a-star matches."""
         return frozenset(
             vertex for vertex in graph.vertices() if self.matches_at(graph, vertex)
+        )
+
+    # ------------------------------------------------------------------
+    # Serialisation
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        """A JSON-serialisable representation (sets as sorted lists)."""
+        return {
+            "coreset": list(_sorted_values(self.coreset)),
+            "leafset": list(_sorted_values(self.leafset)),
+            "frequency": self.frequency,
+            "coreset_frequency": self.coreset_frequency,
+            "code_length": self.code_length,
+        }
+
+    @classmethod
+    def from_dict(cls, document: Mapping[str, Any]) -> "AStar":
+        """Rebuild an a-star from :meth:`to_dict` output."""
+        return cls(
+            coreset=frozenset(document["coreset"]),
+            leafset=frozenset(document["leafset"]),
+            frequency=document.get("frequency", 0),
+            coreset_frequency=document.get("coreset_frequency", 0),
+            code_length=document.get("code_length", 0.0),
         )
 
     # ------------------------------------------------------------------

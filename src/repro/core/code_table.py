@@ -19,7 +19,7 @@ code lengths ``-log2(fL / fc)`` (Eq. 6) are derived on demand by
 from __future__ import annotations
 
 import math
-from typing import Dict, FrozenSet, Hashable, Iterable, Mapping
+from typing import Any, Dict, FrozenSet, Hashable, Iterable, Mapping
 
 from repro.errors import EncodingError
 from repro.graphs.attributed_graph import AttributedGraph
@@ -68,12 +68,45 @@ class StandardCodeTable:
             raise EncodingError(f"value {value!r} is not in the code table") from None
 
     def set_cost(self, values: Iterable[Value]) -> float:
-        """Cost in bits of materialising ``values`` in a code table."""
-        return sum(self.code_length(value) for value in values)
+        """Cost in bits of materialising ``values`` in a code table.
+
+        Terms are summed in sorted order: float addition is order-
+        sensitive and set iteration order varies with the hash seed, so
+        this keeps every derived description length (including the
+        incremental gain bookkeeping) identical across processes.
+        """
+        return sum(
+            self.code_length(value) for value in sorted(values, key=repr)
+        )
 
     def lengths(self) -> Dict[Value, float]:
         """A copy of the value -> code length mapping."""
         return dict(self._lengths)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """A JSON-serialisable representation.
+
+        Code lengths are stored as ``[value, bits]`` pairs (sorted by
+        value repr for determinism) because JSON object keys must be
+        strings while attribute values may be e.g. ints.
+        """
+        return {
+            "total_occurrences": self._total,
+            "lengths": [
+                [value, bits]
+                for value, bits in sorted(
+                    self._lengths.items(), key=lambda item: repr(item[0])
+                )
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, document: Mapping[str, Any]) -> "StandardCodeTable":
+        """Rebuild a table from :meth:`to_dict` output, bit-exactly."""
+        table = cls.__new__(cls)
+        table._lengths = {value: bits for value, bits in document["lengths"]}
+        table._total = document["total_occurrences"]
+        return table
 
 
 class CoreCodeTable:
@@ -137,3 +170,27 @@ class CoreCodeTable:
             return self._lengths[frozenset(coreset)]
         except KeyError:
             raise EncodingError(f"unknown coreset {set(coreset)}") from None
+
+    def to_dict(self) -> Dict[str, Any]:
+        """A JSON-serialisable representation.
+
+        Usages are stored as ``[sorted_values, count]`` pairs; code
+        lengths are recomputed exactly on :meth:`from_dict` since they
+        are a pure function of the usage counts.
+        """
+        entries = sorted(
+            self._usage.items(),
+            key=lambda item: sorted(map(repr, item[0])),
+        )
+        return {
+            "usage": [
+                [sorted(coreset, key=repr), count] for coreset, count in entries
+            ]
+        }
+
+    @classmethod
+    def from_dict(cls, document: Mapping[str, Any]) -> "CoreCodeTable":
+        """Rebuild a table from :meth:`to_dict` output."""
+        return cls(
+            {frozenset(values): count for values, count in document["usage"]}
+        )

@@ -27,13 +27,19 @@ def run_basic(
     core_table: CoreCodeTable,
     include_model_cost: bool = True,
     max_iterations: Optional[int] = None,
+    initial_dl_bits: Optional[float] = None,
 ) -> RunTrace:
     """Run CSPM-Basic to convergence, mutating ``db`` in place.
 
-    Returns the :class:`RunTrace` with one entry per accepted merge.
+    ``initial_dl_bits`` may carry an already-computed starting
+    description length to skip the from-scratch pass over the fresh
+    database.  Returns the :class:`RunTrace` with one entry per
+    accepted merge.
     """
     trace = RunTrace(algorithm="cspm-basic")
-    dl = description_length(db, standard_table, core_table).total_bits
+    if initial_dl_bits is None:
+        initial_dl_bits = description_length(db, standard_table, core_table).total_bits
+    dl = initial_dl_bits
     trace.initial_dl_bits = dl
     engine = GainEngine(db, standard_table, core_table)
     iteration = 0

@@ -38,6 +38,7 @@ from repro.core.candidates import (
     canonical_pair,
     enumerate_pairs,
     leafset_sort_key,
+    pair_sort_key,
 )
 from repro.core.code_table import CoreCodeTable, StandardCodeTable
 from repro.core.gain import GainEngine
@@ -92,6 +93,7 @@ def run_partial(
     include_model_cost: bool = True,
     max_iterations: Optional[int] = None,
     update_scope: str = "exhaustive",
+    initial_dl_bits: Optional[float] = None,
 ) -> RunTrace:
     """Run CSPM-Partial to convergence, mutating ``db`` in place."""
     if update_scope not in UPDATE_SCOPES:
@@ -99,7 +101,9 @@ def run_partial(
             f"update_scope must be one of {UPDATE_SCOPES}, got {update_scope!r}"
         )
     trace = RunTrace(algorithm=f"cspm-partial/{update_scope}")
-    dl = description_length(db, standard_table, core_table).total_bits
+    if initial_dl_bits is None:
+        initial_dl_bits = description_length(db, standard_table, core_table).total_bits
+    dl = initial_dl_bits
     trace.initial_dl_bits = dl
     engine = GainEngine(db, standard_table, core_table)
 
@@ -128,10 +132,23 @@ def run_partial(
         if gain <= GAIN_EPS:
             state.drop_candidate(leaf_x, leaf_y)
             continue
+        # Revalidation: merge the popped pair only while it is still the
+        # exact maximum under the queue's (gain, pair-key) order.  Stored
+        # gains are upper bounds (merges elsewhere only shrink ``fe``),
+        # so if the fresh gain fell below the next stored gain — or ties
+        # it with a larger pair key — push the fresh value back and let
+        # the true maximum surface.  The strict comparison (no epsilon
+        # slack) is what keeps the exhaustive scope's merge sequence
+        # identical to CSPM-Basic's even when two candidates tie.
         next_best = state.queue.peek()
-        if next_best is not None and gain < next_best[1] - GAIN_EPS:
-            state.queue.set(canonical_pair(leaf_x, leaf_y), gain)
-            continue
+        if next_best is not None:
+            next_pair, next_gain = next_best
+            pair = canonical_pair(leaf_x, leaf_y)
+            if gain < next_gain or (
+                gain == next_gain and pair_sort_key(pair) > pair_sort_key(next_pair)
+            ):
+                state.queue.set(pair, gain)
+                continue
 
         num_leafsets = len(db.leafsets())
         possible = num_leafsets * (num_leafsets - 1) // 2

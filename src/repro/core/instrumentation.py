@@ -10,7 +10,7 @@ Fig. 5.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import Any, Dict, List, Mapping, Optional, Tuple
 
 
 @dataclass(frozen=True)
@@ -31,6 +31,35 @@ class IterationTrace:
         if self.possible_pairs <= 0:
             return 0.0
         return min(1.0, self.gains_computed / self.possible_pairs)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """A JSON-serialisable representation (tuples become lists)."""
+        merged = self.merged_pair
+        return {
+            "iteration": self.iteration,
+            "gains_computed": self.gains_computed,
+            "possible_pairs": self.possible_pairs,
+            "num_leafsets": self.num_leafsets,
+            "merged_pair": None if merged is None else [list(merged[0]), list(merged[1])],
+            "gain": self.gain,
+            "total_dl_bits": self.total_dl_bits,
+        }
+
+    @classmethod
+    def from_dict(cls, document: Mapping[str, Any]) -> "IterationTrace":
+        """Rebuild an iteration trace from :meth:`to_dict` output."""
+        merged = document.get("merged_pair")
+        return cls(
+            iteration=document["iteration"],
+            gains_computed=document["gains_computed"],
+            possible_pairs=document["possible_pairs"],
+            num_leafsets=document["num_leafsets"],
+            merged_pair=None
+            if merged is None
+            else (tuple(merged[0]), tuple(merged[1])),
+            gain=document["gain"],
+            total_dl_bits=document["total_dl_bits"],
+        )
 
 
 @dataclass
@@ -63,3 +92,27 @@ class RunTrace:
         if self.initial_dl_bits <= 0:
             return 1.0
         return self.final_dl_bits / self.initial_dl_bits
+
+    def to_dict(self) -> Dict[str, Any]:
+        """A JSON-serialisable representation of the full trace."""
+        return {
+            "algorithm": self.algorithm,
+            "initial_dl_bits": self.initial_dl_bits,
+            "final_dl_bits": self.final_dl_bits,
+            "initial_candidate_gains": self.initial_candidate_gains,
+            "iterations": [trace.to_dict() for trace in self.iterations],
+        }
+
+    @classmethod
+    def from_dict(cls, document: Mapping[str, Any]) -> "RunTrace":
+        """Rebuild a run trace from :meth:`to_dict` output."""
+        return cls(
+            algorithm=document["algorithm"],
+            initial_dl_bits=document.get("initial_dl_bits", 0.0),
+            final_dl_bits=document.get("final_dl_bits", 0.0),
+            initial_candidate_gains=document.get("initial_candidate_gains", 0),
+            iterations=[
+                IterationTrace.from_dict(entry)
+                for entry in document.get("iterations", [])
+            ],
+        )

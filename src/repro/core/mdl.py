@@ -25,9 +25,10 @@ Cost model
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
-from typing import Optional
+from dataclasses import asdict, dataclass
+from typing import Any, Dict, Mapping, Optional
 
+from repro.core.candidates import leafset_sort_key
 from repro.core.code_table import CoreCodeTable, StandardCodeTable
 from repro.core.inverted_db import InvertedDatabase
 
@@ -63,6 +64,20 @@ class DescriptionLength:
         """``L(M, I)`` (Eq. 1)."""
         return self.model_bits + self.data_bits
 
+    def to_dict(self) -> Dict[str, Any]:
+        """The four component fields, JSON-ready."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, document: Mapping[str, Any]) -> "DescriptionLength":
+        """Rebuild a breakdown from :meth:`to_dict` output."""
+        return cls(
+            model_core_bits=document["model_core_bits"],
+            model_leaf_bits=document["model_leaf_bits"],
+            data_leaf_bits=document["data_leaf_bits"],
+            data_core_bits=document["data_core_bits"],
+        )
+
     def __str__(self) -> str:
         return (
             f"L(M,I)={self.total_bits:.2f} bits "
@@ -72,12 +87,34 @@ class DescriptionLength:
         )
 
 
-def data_leaf_bits(db: InvertedDatabase) -> float:
-    """Eq. 8: ``sum_j c_j log2 c_j - sum_ij l_ij log2 l_ij``."""
+def _sorted_rows(db: InvertedDatabase):
+    """Rows in a hash-seed-independent order.
+
+    Floating-point sums depend on term order, and set/dict iteration
+    order varies with ``PYTHONHASHSEED``; sorting here makes every
+    *recomputed* description length (``initial_dl``/``final_dl`` and
+    the per-a-star code lengths) bit-for-bit reproducible across
+    processes — the serialised results and the CLI golden file rely on
+    this.  The per-iteration trace bits are accumulated incrementally
+    through the unsorted hot gain loop and may still differ in the
+    last ulp on large graphs.
+    """
+    return sorted(
+        db.row_items(),
+        key=lambda item: (leafset_sort_key(item[0]), leafset_sort_key(item[1])),
+    )
+
+
+def data_leaf_bits(db: InvertedDatabase, rows=None) -> float:
+    """Eq. 8: ``sum_j c_j log2 c_j - sum_ij l_ij log2 l_ij``.
+
+    ``rows`` may carry an already-sorted row list (from
+    :func:`_sorted_rows`) to avoid re-sorting.
+    """
     total = 0.0
-    for core in db.coresets():
+    for core in sorted(db.coresets(), key=leafset_sort_key):
         total += xlog2x(db.coreset_frequency(core))
-    for _core, _leaf, frequency in db.row_items():
+    for _core, _leaf, frequency in rows if rows is not None else _sorted_rows(db):
         total -= xlog2x(frequency)
     return total
 
@@ -102,15 +139,21 @@ def description_length(
     standard_table: StandardCodeTable,
     core_table: Optional[CoreCodeTable] = None,
 ) -> DescriptionLength:
-    """Recompute the full DL breakdown from scratch (Eq. 1-8)."""
+    """Recompute the full DL breakdown from scratch (Eq. 1-8).
+
+    Sums run in sorted order so the result is identical for any
+    ``PYTHONHASHSEED`` — see :func:`_sorted_rows` and
+    :meth:`StandardCodeTable.set_cost`.
+    """
+    rows = _sorted_rows(db)
     model_core = 0.0
     if core_table is not None:
-        for coreset in core_table.coresets():
+        for coreset in sorted(core_table.coresets(), key=leafset_sort_key):
             model_core += standard_table.set_cost(coreset)
             model_core += core_table.code_length(coreset)
     model_leaf = 0.0
     data_core = 0.0
-    for core, leaf, frequency in db.row_items():
+    for core, leaf, frequency in rows:
         model_leaf += standard_table.set_cost(leaf)
         if core_table is not None:
             pointer = core_table.code_length(core)
@@ -119,7 +162,7 @@ def description_length(
     return DescriptionLength(
         model_core_bits=model_core,
         model_leaf_bits=model_leaf,
-        data_leaf_bits=data_leaf_bits(db),
+        data_leaf_bits=data_leaf_bits(db, rows=rows),
         data_core_bits=data_core,
     )
 

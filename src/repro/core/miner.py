@@ -1,6 +1,7 @@
 """The CSPM facade: a parameter-free miner of attribute-stars.
 
-``CSPM().fit(graph)`` runs the full pipeline of Algorithm 1/3:
+``CSPM().fit(graph)`` runs the default
+:class:`~repro.pipeline.MiningPipeline` of Algorithm 1/3:
 
 1. encode coresets (singleton values by default; optionally multi-value
    coresets discovered by SLIM or Krimp on the vertex-attribute
@@ -10,100 +11,27 @@
    basic or the partial-update search;
 4. return the surviving a-stars ranked by ascending code length.
 
-CSPM is parameter-free in the paper's sense: the knobs below select
-*variants* (search strategy, coreset encoder, ablations), not data-
-dependent thresholds.
+The facade is configuration-driven: ``CSPM(config=CSPMConfig(...))``
+is the canonical spelling, while the legacy keyword form
+``CSPM(method="basic", coreset_encoder="slim")`` keeps working as a
+thin shim that builds the config for you.  Both run the exact same
+pipeline; callers that need custom stages use
+:class:`~repro.pipeline.MiningPipeline` directly, and callers with many
+graphs use :func:`repro.batch.fit_many`.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Hashable, Iterator, List, Optional, Set
+from typing import Any, Optional
 
-from repro.core.astar import AStar
-from repro.core.code_table import CoreCodeTable, StandardCodeTable
-from repro.core.cspm_basic import run_basic
-from repro.core.cspm_partial import run_partial
-from repro.core.instrumentation import RunTrace
-from repro.core.inverted_db import InvertedDatabase
-from repro.core.mdl import (
-    DescriptionLength,
-    description_length,
-    row_code_length,
-)
-from repro.errors import MiningError
+from repro.config import CSPMConfig
+from repro.core.result import CSPMResult
+from repro.errors import ConfigError
 from repro.graphs.attributed_graph import AttributedGraph
 
-Value = Hashable
-Vertex = Hashable
+__all__ = ["CSPM", "CSPMResult"]
 
-_METHODS = ("partial", "basic")
-_ENCODERS = ("singleton", "slim", "krimp")
-
-
-@dataclass
-class CSPMResult:
-    """Output of a CSPM run.
-
-    ``astars`` is ordered by ascending code length — the paper's output
-    ordering, where shorter codes mean more informative patterns.
-    """
-
-    astars: List[AStar]
-    trace: RunTrace
-    initial_dl: DescriptionLength
-    final_dl: DescriptionLength
-    standard_table: StandardCodeTable
-    core_table: CoreCodeTable
-    inverted_db: InvertedDatabase = field(repr=False)
-
-    def __len__(self) -> int:
-        return len(self.astars)
-
-    def __iter__(self) -> Iterator[AStar]:
-        return iter(self.astars)
-
-    def top(self, k: int) -> List[AStar]:
-        """The ``k`` best-ranked (shortest-code) a-stars."""
-        return self.astars[:k]
-
-    def filter(
-        self,
-        min_leafset_size: int = 1,
-        min_frequency: int = 1,
-        core_value: Optional[Value] = None,
-    ) -> List[AStar]:
-        """A filtered view, preserving rank order."""
-        selected = []
-        for star in self.astars:
-            if len(star.leafset) < min_leafset_size:
-                continue
-            if star.frequency < min_frequency:
-                continue
-            if core_value is not None and core_value not in star.coreset:
-                continue
-            selected.append(star)
-        return selected
-
-    @property
-    def compression_ratio(self) -> float:
-        """Final over initial total description length."""
-        initial = self.initial_dl.total_bits
-        if initial <= 0:
-            return 1.0
-        return self.final_dl.total_bits / initial
-
-    def summary(self) -> str:
-        """A short human-readable report of the run."""
-        lines = [
-            f"CSPM ({self.trace.algorithm}): {len(self.astars)} a-stars, "
-            f"{self.trace.num_iterations} merges",
-            f"  DL: {self.initial_dl.total_bits:.1f} -> "
-            f"{self.final_dl.total_bits:.1f} bits "
-            f"(ratio {self.compression_ratio:.3f})",
-            f"  gain computations: {self.trace.total_gain_computations}",
-        ]
-        return "\n".join(lines)
+_UNSET: Any = object()
 
 
 class CSPM:
@@ -111,134 +39,82 @@ class CSPM:
 
     Parameters
     ----------
-    method:
-        ``"partial"`` (default, Algorithm 3-4) or ``"basic"``
-        (Algorithm 1-2).
-    coreset_encoder:
-        ``"singleton"`` (default — CTc equals the standard code table,
-        Section IV-C), ``"slim"`` or ``"krimp"`` for multi-value
-        coresets mined on the vertex-attribute transactions
-        (Section IV-F, step 1).
-    include_model_cost:
-        Whether candidate gains subtract the code-table cost of the new
-        leafset (Section IV-E).  ``True`` by default; ablated in the
-        benchmarks.
-    max_iterations:
-        Optional safety cap on the number of merges (``None`` = run to
-        convergence, as the paper does).
-    partial_update_scope:
-        For ``method="partial"``: ``"exhaustive"`` (default; guarantees
-        the same merges as CSPM-Basic while updating only an affected
-        neighbourhood) or ``"related"`` (the paper's Algorithm 4
-        rdict heuristic, cheapest but may miss late candidates).
+    config:
+        A :class:`~repro.config.CSPMConfig`.  When omitted, one is
+        built from the keyword arguments below (all of which default to
+        the paper's settings).  Keywords passed *alongside* ``config``
+        override the corresponding config fields.
+    method, coreset_encoder, include_model_cost, max_iterations, \
+    partial_update_scope, top_k, min_leafset:
+        Legacy/convenience knobs; see :class:`~repro.config.CSPMConfig`
+        for their meaning.
     """
 
     def __init__(
         self,
-        method: str = "partial",
-        coreset_encoder: str = "singleton",
-        include_model_cost: bool = True,
-        max_iterations: Optional[int] = None,
-        partial_update_scope: str = "exhaustive",
+        method: str = _UNSET,
+        coreset_encoder: str = _UNSET,
+        include_model_cost: bool = _UNSET,
+        max_iterations: Optional[int] = _UNSET,
+        partial_update_scope: str = _UNSET,
+        top_k: Optional[int] = _UNSET,
+        min_leafset: int = _UNSET,
+        config: Optional[CSPMConfig] = None,
     ) -> None:
-        if method not in _METHODS:
-            raise MiningError(f"method must be one of {_METHODS}, got {method!r}")
-        if coreset_encoder not in _ENCODERS:
-            raise MiningError(
-                f"coreset_encoder must be one of {_ENCODERS}, got {coreset_encoder!r}"
+        overrides = {
+            name: value
+            for name, value in (
+                ("method", method),
+                ("coreset_encoder", coreset_encoder),
+                ("include_model_cost", include_model_cost),
+                ("max_iterations", max_iterations),
+                ("partial_update_scope", partial_update_scope),
+                ("top_k", top_k),
+                ("min_leafset", min_leafset),
             )
-        self.method = method
-        self.coreset_encoder = coreset_encoder
-        self.include_model_cost = include_model_cost
-        self.max_iterations = max_iterations
-        self.partial_update_scope = partial_update_scope
+            if value is not _UNSET
+        }
+        if config is None:
+            config = CSPMConfig(**overrides)
+        else:
+            if not isinstance(config, CSPMConfig):
+                raise ConfigError(
+                    f"config must be a CSPMConfig, got {type(config).__name__}"
+                )
+            if overrides:
+                config = config.replace(**overrides)
+        self.config = config
+
+    # Legacy attribute access: the seed exposed the knobs as instance
+    # attributes; keep them readable (the config itself is frozen).
+
+    @property
+    def method(self) -> str:
+        return self.config.method
+
+    @property
+    def coreset_encoder(self) -> str:
+        return self.config.coreset_encoder
+
+    @property
+    def include_model_cost(self) -> bool:
+        return self.config.include_model_cost
+
+    @property
+    def max_iterations(self) -> Optional[int]:
+        return self.config.max_iterations
+
+    @property
+    def partial_update_scope(self) -> str:
+        return self.config.partial_update_scope
+
+    def __repr__(self) -> str:
+        return f"CSPM({self.config.describe()})"
 
     # ------------------------------------------------------------------
 
     def fit(self, graph: AttributedGraph) -> CSPMResult:
         """Mine a-stars from ``graph`` and return the ranked result."""
-        if graph.num_vertices == 0:
-            raise MiningError("cannot mine an empty graph")
-        if not graph.attribute_values():
-            raise MiningError("graph has no attribute values")
+        from repro.pipeline import MiningPipeline
 
-        standard_table = StandardCodeTable.from_graph(graph)
-        coreset_positions, core_table = self._encode_coresets(graph)
-        db = InvertedDatabase.from_graph(graph, coreset_positions)
-        initial_dl = description_length(db, standard_table, core_table)
-
-        if self.method == "basic":
-            trace = run_basic(
-                db,
-                standard_table,
-                core_table,
-                include_model_cost=self.include_model_cost,
-                max_iterations=self.max_iterations,
-            )
-        else:
-            trace = run_partial(
-                db,
-                standard_table,
-                core_table,
-                include_model_cost=self.include_model_cost,
-                max_iterations=self.max_iterations,
-                update_scope=self.partial_update_scope,
-            )
-
-        final_dl = description_length(db, standard_table, core_table)
-        astars = self._collect_astars(db, core_table)
-        return CSPMResult(
-            astars=astars,
-            trace=trace,
-            initial_dl=initial_dl,
-            final_dl=final_dl,
-            standard_table=standard_table,
-            core_table=core_table,
-            inverted_db=db,
-        )
-
-    # ------------------------------------------------------------------
-
-    def _encode_coresets(self, graph: AttributedGraph):
-        """Step 1 of Algorithm 1: coreset positions + their code table."""
-        if self.coreset_encoder == "singleton":
-            positions = {
-                frozenset([value]): vertices
-                for value, vertices in graph.value_positions().items()
-            }
-            return positions, CoreCodeTable.singletons_from_graph(graph)
-        # Multi-value coresets: mine itemsets over vertex attribute sets
-        # and cover each vertex's attribute set with them.
-        from repro.itemsets import cover_database, mine_code_table
-
-        vertices = [v for v in graph.vertices() if graph.attributes_of(v)]
-        transactions = [graph.attributes_of(v) for v in vertices]
-        code_table = mine_code_table(transactions, algorithm=self.coreset_encoder)
-        covers = cover_database(code_table, transactions)
-        positions: Dict[FrozenSet[Value], Set[Vertex]] = {}
-        usage: Dict[FrozenSet[Value], int] = {}
-        for vertex, cover in zip(vertices, covers):
-            for itemset in cover:
-                key = frozenset(itemset)
-                positions.setdefault(key, set()).add(vertex)
-                usage[key] = usage.get(key, 0) + 1
-        return positions, CoreCodeTable(usage)
-
-    @staticmethod
-    def _collect_astars(
-        db: InvertedDatabase, core_table: CoreCodeTable
-    ) -> List[AStar]:
-        astars = []
-        for core, leaf, frequency in db.row_items():
-            code = core_table.code_length(core) + row_code_length(db, core, leaf)
-            astars.append(
-                AStar(
-                    coreset=core,
-                    leafset=leaf,
-                    frequency=frequency,
-                    coreset_frequency=db.coreset_frequency(core),
-                    code_length=code,
-                )
-            )
-        astars.sort(key=AStar.sort_key)
-        return astars
+        return MiningPipeline.default(self.config).run(graph)

@@ -21,6 +21,14 @@ class MiningError(ReproError):
     """Raised when a pattern mining procedure receives invalid input."""
 
 
+class ConfigError(MiningError):
+    """Raised when a :class:`repro.config.CSPMConfig` is invalid.
+
+    Subclasses :class:`MiningError` so legacy callers that guarded
+    ``CSPM(...)`` construction with ``except MiningError`` keep working.
+    """
+
+
 class EncodingError(ReproError):
     """Raised when a code table cannot encode the requested object."""
 

@@ -1,0 +1,406 @@
+"""The composable mining pipeline behind ``CSPM.fit``.
+
+The paper's Algorithm 1/3 is already staged internally — (1) encode
+coresets, (2) build the inverted database, (3) greedy MDL search,
+(4) rank the surviving a-stars.  :class:`MiningPipeline` makes those
+stages explicit and first-class:
+
+* every stage is an object with a ``name`` and a ``run(context)``
+  method that reads/writes a shared :class:`PipelineContext`;
+* ``MiningPipeline.default(config)`` wires the paper's four stages;
+* callers can insert custom stages (graph preprocessing,
+  instrumentation taps, result post-processors) with
+  :meth:`MiningPipeline.with_stage` — plain callables are accepted and
+  wrapped automatically;
+* the facade ``CSPM.fit`` is a thin wrapper over the default pipeline,
+  so the facade, the CLI, the batch runner and any future service layer
+  all execute the exact same code path.
+
+Example::
+
+    from repro import CSPMConfig, MiningPipeline
+
+    def tap(context):
+        print("rows:", context.inverted_db.num_rows)
+
+    pipeline = MiningPipeline.default(CSPMConfig(top_k=10))
+    pipeline = pipeline.with_stage(tap, before="Search")
+    result = pipeline.run(graph)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    FrozenSet,
+    Hashable,
+    List,
+    Optional,
+    Sequence,
+    Set,
+)
+
+from repro.config import CSPMConfig
+from repro.core.astar import AStar
+from repro.core.code_table import CoreCodeTable, StandardCodeTable
+from repro.core.cspm_basic import run_basic
+from repro.core.cspm_partial import run_partial
+from repro.core.instrumentation import RunTrace
+from repro.core.inverted_db import InvertedDatabase
+from repro.core.mdl import (
+    DescriptionLength,
+    description_length,
+    row_code_length,
+)
+from repro.core.result import CSPMResult
+from repro.errors import MiningError
+from repro.graphs.attributed_graph import AttributedGraph
+
+Value = Hashable
+Vertex = Hashable
+
+
+@dataclass
+class PipelineContext:
+    """Shared state threaded through the pipeline stages.
+
+    Each default stage fills in the fields it is responsible for;
+    custom stages may read anything already populated and stash their
+    own data in ``extras``.
+    """
+
+    graph: AttributedGraph
+    config: CSPMConfig
+    standard_table: Optional[StandardCodeTable] = None
+    coreset_positions: Optional[Dict[FrozenSet[Value], Set[Vertex]]] = None
+    core_table: Optional[CoreCodeTable] = None
+    inverted_db: Optional[InvertedDatabase] = None
+    initial_dl: Optional[DescriptionLength] = None
+    trace: Optional[RunTrace] = None
+    final_dl: Optional[DescriptionLength] = None
+    astars: Optional[List[AStar]] = None
+    result: Optional[CSPMResult] = None
+    extras: Dict[str, Any] = field(default_factory=dict)
+
+    def recompute_initial_dl(self) -> DescriptionLength:
+        """Refresh ``initial_dl`` from the current database state.
+
+        The Search stage starts its trace DL accounting from
+        ``initial_dl``; a custom stage inserted between
+        ``BuildInvertedDB`` and ``Search`` that mutates the inverted
+        database (pruning rows, pre-merging) must call this afterwards
+        so the accounting reflects the mutated state.
+        """
+        self.initial_dl = description_length(
+            self.inverted_db, self.standard_table, self.core_table
+        )
+        return self.initial_dl
+
+
+class PipelineStage:
+    """Base class for pipeline stages.
+
+    A stage mutates the :class:`PipelineContext` in place; its ``name``
+    (the class name by default) addresses it in
+    :meth:`MiningPipeline.with_stage`.
+    """
+
+    @property
+    def name(self) -> str:
+        return type(self).__name__
+
+    def run(self, context: PipelineContext) -> None:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class FunctionStage(PipelineStage):
+    """Adapter wrapping a plain ``callable(context)`` as a stage."""
+
+    def __init__(self, function: Callable[[PipelineContext], Any], name: Optional[str] = None) -> None:
+        self._function = function
+        self._name = name or getattr(function, "__name__", "FunctionStage")
+
+    @property
+    def name(self) -> str:
+        return self._name
+
+    def run(self, context: PipelineContext) -> None:
+        self._function(context)
+
+    def __repr__(self) -> str:
+        return f"FunctionStage({self._name!r})"
+
+
+class EncodeCoresets(PipelineStage):
+    """Step 1 of Algorithm 1: coreset positions + their code table.
+
+    Singleton coresets make CTc coincide with the standard code table
+    (Section IV-C); the ``slim``/``krimp`` encoders mine multi-value
+    coresets over the vertex-attribute transactions (Section IV-F).
+    """
+
+    def run(self, context: PipelineContext) -> None:
+        graph = context.graph
+        context.standard_table = StandardCodeTable.from_graph(graph)
+        if context.config.coreset_encoder == "singleton":
+            context.coreset_positions = {
+                frozenset([value]): vertices
+                for value, vertices in graph.value_positions().items()
+            }
+            context.core_table = CoreCodeTable.singletons_from_graph(graph)
+            return
+        # Multi-value coresets: mine itemsets over vertex attribute sets
+        # and cover each vertex's attribute set with them.
+        from repro.itemsets import cover_database, mine_code_table
+
+        vertices = [v for v in graph.vertices() if graph.attributes_of(v)]
+        transactions = [graph.attributes_of(v) for v in vertices]
+        code_table = mine_code_table(
+            transactions, algorithm=context.config.coreset_encoder
+        )
+        covers = cover_database(code_table, transactions)
+        positions: Dict[FrozenSet[Value], Set[Vertex]] = {}
+        usage: Dict[FrozenSet[Value], int] = {}
+        for vertex, cover in zip(vertices, covers):
+            for itemset in cover:
+                key = frozenset(itemset)
+                positions.setdefault(key, set()).add(vertex)
+                usage[key] = usage.get(key, 0) + 1
+        context.coreset_positions = positions
+        context.core_table = CoreCodeTable(usage)
+
+
+class BuildInvertedDB(PipelineStage):
+    """Step 2 of Algorithm 1: the inverted database and the initial DL."""
+
+    def run(self, context: PipelineContext) -> None:
+        context.inverted_db = InvertedDatabase.from_graph(
+            context.graph, context.coreset_positions
+        )
+        context.initial_dl = description_length(
+            context.inverted_db, context.standard_table, context.core_table
+        )
+
+
+class Search(PipelineStage):
+    """Steps 3-4: greedy MDL merging, basic or partial-update."""
+
+    def run(self, context: PipelineContext) -> None:
+        config = context.config
+        # BuildInvertedDB already computed the starting DL on the fresh
+        # database; hand it to the search instead of recomputing.
+        initial_bits = (
+            context.initial_dl.total_bits
+            if context.initial_dl is not None
+            else None
+        )
+        if config.method == "basic":
+            context.trace = run_basic(
+                context.inverted_db,
+                context.standard_table,
+                context.core_table,
+                include_model_cost=config.include_model_cost,
+                max_iterations=config.max_iterations,
+                initial_dl_bits=initial_bits,
+            )
+        else:
+            context.trace = run_partial(
+                context.inverted_db,
+                context.standard_table,
+                context.core_table,
+                include_model_cost=config.include_model_cost,
+                max_iterations=config.max_iterations,
+                update_scope=config.partial_update_scope,
+                initial_dl_bits=initial_bits,
+            )
+        context.final_dl = description_length(
+            context.inverted_db, context.standard_table, context.core_table
+        )
+
+
+class RankAndFilter(PipelineStage):
+    """Rank surviving a-stars and apply the config post-filters.
+
+    Ordering is the paper's: ascending code length.  ``min_leafset``
+    and ``top_k`` only trim the reported list; they never influence the
+    search itself.
+    """
+
+    def run(self, context: PipelineContext) -> None:
+        config = context.config
+        db = context.inverted_db
+        core_table = context.core_table
+        astars = []
+        for core, leaf, frequency in db.row_items():
+            code = core_table.code_length(core) + row_code_length(db, core, leaf)
+            astars.append(
+                AStar(
+                    coreset=core,
+                    leafset=leaf,
+                    frequency=frequency,
+                    coreset_frequency=db.coreset_frequency(core),
+                    code_length=code,
+                )
+            )
+        astars.sort(key=AStar.sort_key)
+        if config.min_leafset > 1:
+            astars = [
+                star for star in astars if len(star.leafset) >= config.min_leafset
+            ]
+        if config.top_k is not None:
+            astars = astars[: config.top_k]
+        context.astars = astars
+        context.result = CSPMResult(
+            astars=astars,
+            trace=context.trace,
+            initial_dl=context.initial_dl,
+            final_dl=context.final_dl,
+            standard_table=context.standard_table,
+            core_table=context.core_table,
+            inverted_db=db,
+            config=config,
+        )
+
+
+class MiningPipeline:
+    """An ordered list of stages plus the config that drives them.
+
+    Pipelines are immutable in spirit: :meth:`with_stage` and
+    :meth:`with_config` return new pipelines, so a default pipeline can
+    be shared and specialised per call site.
+    """
+
+    def __init__(
+        self,
+        stages: Sequence[Any],
+        config: Optional[CSPMConfig] = None,
+    ) -> None:
+        if not stages:
+            raise MiningError("a pipeline needs at least one stage")
+        self.config = config if config is not None else CSPMConfig()
+        self._stages: List[PipelineStage] = [
+            self._coerce_stage(stage) for stage in stages
+        ]
+
+    @staticmethod
+    def _coerce_stage(stage: Any) -> PipelineStage:
+        if isinstance(stage, type):
+            raise MiningError(
+                f"pass a stage instance, not the class {stage.__name__}"
+            )
+        if isinstance(stage, PipelineStage):
+            return stage
+        if callable(stage) and not hasattr(stage, "run"):
+            return FunctionStage(stage)
+        if hasattr(stage, "run") and hasattr(stage, "name"):
+            return stage
+        raise MiningError(
+            f"stage {stage!r} is neither a PipelineStage nor a callable"
+        )
+
+    @classmethod
+    def default(cls, config: Optional[CSPMConfig] = None) -> "MiningPipeline":
+        """The paper's four-stage pipeline (Algorithm 1/3)."""
+        return cls(
+            [EncodeCoresets(), BuildInvertedDB(), Search(), RankAndFilter()],
+            config=config,
+        )
+
+    # ------------------------------------------------------------------
+    # Introspection and composition
+    # ------------------------------------------------------------------
+
+    @property
+    def stages(self) -> List[PipelineStage]:
+        return list(self._stages)
+
+    def stage_names(self) -> List[str]:
+        return [stage.name for stage in self._stages]
+
+    def _index_of(self, name: str) -> int:
+        for index, stage in enumerate(self._stages):
+            if stage.name == name:
+                return index
+        raise MiningError(
+            f"no stage named {name!r}; have {self.stage_names()}"
+        )
+
+    def with_stage(
+        self,
+        stage: Any,
+        before: Optional[str] = None,
+        after: Optional[str] = None,
+    ) -> "MiningPipeline":
+        """A new pipeline with ``stage`` inserted.
+
+        ``before``/``after`` name an existing stage; with neither, the
+        stage is appended (it then runs after the result is built —
+        useful for result taps).
+
+        A stage that mutates ``context.inverted_db`` between
+        ``BuildInvertedDB`` and ``Search`` must finish with
+        ``context.recompute_initial_dl()`` — the search seeds its trace
+        DL accounting from ``context.initial_dl``.
+        """
+        if before is not None and after is not None:
+            raise MiningError("pass at most one of before/after")
+        stages = list(self._stages)
+        if before is not None:
+            stages.insert(self._index_of(before), stage)
+        elif after is not None:
+            stages.insert(self._index_of(after) + 1, stage)
+        else:
+            stages.append(stage)
+        return MiningPipeline(stages, config=self.config)
+
+    def with_config(self, config: CSPMConfig) -> "MiningPipeline":
+        """The same stages driven by a different config."""
+        return MiningPipeline(list(self._stages), config=config)
+
+    def __repr__(self) -> str:
+        return (
+            f"MiningPipeline({' -> '.join(self.stage_names())}, "
+            f"config=CSPMConfig({self.config.describe()}))"
+        )
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+
+    def run(
+        self,
+        graph: AttributedGraph,
+        config: Optional[CSPMConfig] = None,
+    ) -> CSPMResult:
+        """Execute every stage on ``graph`` and return the built result."""
+        context = self.run_context(graph, config=config)
+        if context.result is None:
+            raise MiningError(
+                "pipeline finished without producing a result "
+                "(is a RankAndFilter stage missing?)"
+            )
+        return context.result
+
+    def run_context(
+        self,
+        graph: AttributedGraph,
+        config: Optional[CSPMConfig] = None,
+    ) -> PipelineContext:
+        """Like :meth:`run` but returns the full context (for taps)."""
+        if graph.num_vertices == 0:
+            raise MiningError("cannot mine an empty graph")
+        if not graph.attribute_values():
+            raise MiningError("graph has no attribute values")
+        context = PipelineContext(
+            graph=graph,
+            config=config if config is not None else self.config,
+        )
+        for stage in self._stages:
+            stage.run(context)
+        return context

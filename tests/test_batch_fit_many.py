@@ -1,0 +1,106 @@
+"""Tests for the fit_many batch entry point."""
+
+import pytest
+
+from repro import CSPM, CSPMConfig, MiningError, fit_many
+from repro.batch import BatchResult, BatchRun
+from repro.graphs.builders import paper_running_example
+from repro.graphs.generators import PlantedAStar, planted_astar_graph
+
+
+def small_graphs():
+    graphs = [paper_running_example()]
+    for seed in (1, 2):
+        graph, _ = planted_astar_graph(
+            40,
+            90,
+            [PlantedAStar("core", ("l1", "l2"), strength=0.9)],
+            noise_values=("n1", "n2"),
+            noise_rate=0.2,
+            seed=seed,
+        )
+        graphs.append(graph)
+    return graphs
+
+
+class TestSerial:
+    def test_matches_per_graph_fits(self):
+        graphs = small_graphs()
+        config = CSPMConfig()
+        batch = fit_many(graphs, config)
+        assert len(batch) == len(graphs)
+        for index, (run, graph) in enumerate(zip(batch, graphs)):
+            reference = CSPM(config=config).fit(graph)
+            assert run.index == index
+            assert run.result.astars == reference.astars
+            assert (
+                run.result.final_dl.total_bits == reference.final_dl.total_bits
+            )
+
+    def test_timing_recorded(self):
+        batch = fit_many(small_graphs())
+        assert all(run.seconds >= 0 for run in batch)
+        assert batch.total_seconds == pytest.approx(
+            sum(run.seconds for run in batch)
+        )
+
+    def test_default_config(self):
+        batch = fit_many([paper_running_example()])
+        assert batch.config == CSPMConfig()
+        assert batch[0].result.config == CSPMConfig()
+
+    def test_results_property_order(self):
+        graphs = small_graphs()
+        batch = fit_many(graphs)
+        assert batch.results == [run.result for run in batch.runs]
+
+    def test_summary_mentions_every_run(self):
+        batch = fit_many(small_graphs())
+        text = batch.summary()
+        for run in batch:
+            assert f"[{run.index}]" in text
+
+    def test_run_to_dict_round_trips_result(self):
+        run = fit_many([paper_running_example()])[0]
+        document = run.to_dict()
+        assert document["index"] == 0
+        assert document["result"]["astars"]
+
+
+class TestProcess:
+    def test_process_executor_matches_serial(self):
+        graphs = small_graphs()
+        config = CSPMConfig(top_k=15)
+        serial = fit_many(graphs, config, executor="serial")
+        parallel = fit_many(graphs, config, n_jobs=2, executor="process")
+        for left, right in zip(serial, parallel):
+            assert left.result.astars == right.result.astars
+            assert (
+                left.result.final_dl.total_bits
+                == right.result.final_dl.total_bits
+            )
+
+    def test_single_graph_short_circuits(self):
+        # one payload never spawns workers, whatever the executor
+        batch = fit_many([paper_running_example()], n_jobs=4, executor="process")
+        assert len(batch) == 1
+
+
+class TestValidation:
+    def test_unknown_executor(self):
+        with pytest.raises(MiningError):
+            fit_many([paper_running_example()], executor="threads")
+
+    def test_bad_n_jobs(self):
+        with pytest.raises(MiningError):
+            fit_many([paper_running_example()], n_jobs=0)
+
+    def test_empty_input_is_empty_batch(self):
+        batch = fit_many([])
+        assert isinstance(batch, BatchResult)
+        assert len(batch) == 0
+        assert batch.total_seconds == 0.0
+
+    def test_getitem(self):
+        batch = fit_many([paper_running_example()])
+        assert isinstance(batch[0], BatchRun)

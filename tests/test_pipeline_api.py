@@ -1,0 +1,193 @@
+"""Tests for the composable MiningPipeline."""
+
+import pytest
+
+from repro import CSPM, CSPMConfig, MiningPipeline, MiningError
+from repro.graphs.attributed_graph import AttributedGraph
+from repro.pipeline import (
+    BuildInvertedDB,
+    EncodeCoresets,
+    FunctionStage,
+    RankAndFilter,
+    Search,
+)
+
+
+class TestDefaultPipeline:
+    def test_stage_names(self):
+        pipeline = MiningPipeline.default()
+        assert pipeline.stage_names() == [
+            "EncodeCoresets",
+            "BuildInvertedDB",
+            "Search",
+            "RankAndFilter",
+        ]
+
+    def test_matches_facade_exactly(self, planted, planted_result):
+        graph, _truth = planted
+        result = MiningPipeline.default(CSPMConfig()).run(graph)
+        assert result.astars == planted_result.astars
+        assert (
+            result.initial_dl.total_bits == planted_result.initial_dl.total_bits
+        )
+        assert result.final_dl.total_bits == planted_result.final_dl.total_bits
+        assert (
+            result.trace.num_iterations == planted_result.trace.num_iterations
+        )
+
+    def test_basic_method_matches_facade(self, paper_graph):
+        config = CSPMConfig(method="basic")
+        assert (
+            MiningPipeline.default(config).run(paper_graph).astars
+            == CSPM(config=config).fit(paper_graph).astars
+        )
+
+    def test_result_records_config(self, paper_graph):
+        config = CSPMConfig(top_k=3)
+        result = MiningPipeline.default(config).run(paper_graph)
+        assert result.config == config
+
+    def test_run_config_override(self, paper_graph):
+        pipeline = MiningPipeline.default(CSPMConfig())
+        capped = pipeline.run(paper_graph, config=CSPMConfig(top_k=2))
+        assert len(capped.astars) == 2
+        # the pipeline's own config is untouched
+        assert pipeline.config.top_k is None
+
+    def test_empty_graph_rejected(self):
+        with pytest.raises(MiningError):
+            MiningPipeline.default().run(AttributedGraph())
+
+
+class TestBasicPartialTieBreak:
+    """Regression: exact gain ties must not diverge basic vs partial.
+
+    This graph produces two merge candidates with bit-identical gains
+    at iteration 2; before the strict (gain, pair-key) revalidation in
+    run_partial, the lazy queue accepted whichever pair it popped first
+    and the two searches converged to different models.
+    """
+
+    def test_tied_gains_same_model(self):
+        graph = AttributedGraph.from_edges(
+            edges=[
+                (0, 1), (0, 4), (1, 2), (2, 3), (2, 6),
+                (3, 4), (4, 5), (4, 6), (5, 6),
+            ],
+            attributes={
+                0: {"a", "c", "d"},
+                1: {"e"},
+                2: {"b", "c"},
+                3: {"a"},
+                4: {"a", "e"},
+                5: {"e"},
+                6: {"e"},
+            },
+        )
+        basic = CSPM(config=CSPMConfig(method="basic")).fit(graph)
+        partial = CSPM(config=CSPMConfig(method="partial")).fit(graph)
+        assert basic.astars == partial.astars
+        assert basic.final_dl == partial.final_dl
+        assert [t.merged_pair for t in basic.trace.iterations] == [
+            t.merged_pair for t in partial.trace.iterations
+        ]
+
+
+class TestPostFilters:
+    def test_top_k_truncates_ranking(self, paper_graph):
+        full = CSPM().fit(paper_graph)
+        capped = CSPM(config=CSPMConfig(top_k=2)).fit(paper_graph)
+        assert capped.astars == full.astars[:2]
+
+    def test_min_leafset_filters(self, paper_graph):
+        full = CSPM().fit(paper_graph)
+        filtered = CSPM(config=CSPMConfig(min_leafset=2)).fit(paper_graph)
+        assert filtered.astars == [
+            star for star in full.astars if len(star.leafset) >= 2
+        ]
+
+    def test_filters_do_not_change_search(self, paper_graph):
+        full = CSPM().fit(paper_graph)
+        capped = CSPM(config=CSPMConfig(top_k=1, min_leafset=2)).fit(paper_graph)
+        assert capped.trace.num_iterations == full.trace.num_iterations
+        assert capped.final_dl.total_bits == full.final_dl.total_bits
+
+
+class TestComposition:
+    def test_callable_stage_is_wrapped(self):
+        pipeline = MiningPipeline.default().with_stage(
+            lambda context: None, before="Search"
+        )
+        assert len(pipeline.stages) == 5
+        assert isinstance(pipeline.stages[2], FunctionStage)
+
+    def test_instrumentation_tap_sees_intermediate_state(self, paper_graph):
+        seen = {}
+
+        def tap(context):
+            seen["rows"] = context.inverted_db.num_rows
+            seen["initial_bits"] = context.initial_dl.total_bits
+            seen["searched"] = context.trace is not None
+
+        result = (
+            MiningPipeline.default()
+            .with_stage(tap, before="Search")
+            .run(paper_graph)
+        )
+        assert seen["rows"] > 0
+        assert seen["initial_bits"] == result.initial_dl.total_bits
+        assert seen["searched"] is False  # ran before the search stage
+
+    def test_appended_stage_sees_result(self, paper_graph):
+        seen = {}
+        MiningPipeline.default().with_stage(
+            lambda context: seen.setdefault("result", context.result)
+        ).run(paper_graph)
+        assert seen["result"] is not None
+
+    def test_with_stage_after(self):
+        pipeline = MiningPipeline.default().with_stage(
+            FunctionStage(lambda context: None, name="tap"), after="Search"
+        )
+        assert pipeline.stage_names()[3] == "tap"
+
+    def test_stage_class_rejected_eagerly(self):
+        with pytest.raises(MiningError, match="instance"):
+            MiningPipeline.default().with_stage(EncodeCoresets)
+
+    def test_with_stage_unknown_anchor(self):
+        with pytest.raises(MiningError):
+            MiningPipeline.default().with_stage(lambda c: None, before="Nope")
+
+    def test_with_stage_both_anchors_rejected(self):
+        with pytest.raises(MiningError):
+            MiningPipeline.default().with_stage(
+                lambda c: None, before="Search", after="Search"
+            )
+
+    def test_with_stage_returns_new_pipeline(self):
+        base = MiningPipeline.default()
+        extended = base.with_stage(lambda c: None)
+        assert len(base.stages) == 4
+        assert len(extended.stages) == 5
+
+    def test_with_config(self, paper_graph):
+        base = MiningPipeline.default()
+        capped = base.with_config(CSPMConfig(top_k=1))
+        assert len(capped.run(paper_graph).astars) == 1
+        assert base.config.top_k is None
+
+    def test_custom_stage_order_from_scratch(self, paper_graph):
+        pipeline = MiningPipeline(
+            [EncodeCoresets(), BuildInvertedDB(), Search(), RankAndFilter()]
+        )
+        assert pipeline.run(paper_graph).astars == CSPM().fit(paper_graph).astars
+
+    def test_missing_rank_stage_fails_loudly(self, paper_graph):
+        pipeline = MiningPipeline([EncodeCoresets(), BuildInvertedDB(), Search()])
+        with pytest.raises(MiningError):
+            pipeline.run(paper_graph)
+
+    def test_empty_stage_list_rejected(self):
+        with pytest.raises(MiningError):
+            MiningPipeline([])
