@@ -68,8 +68,11 @@ def test_fig5_update_ratio(traces, report_writer, benchmark):
             basic_mean = sum(basic_ratios) / len(basic_ratios)
             lines.append(f"  CSPM-Basic   mean ratio: {basic_mean:.4f}")
             # The paper's observation: Partial's curve sits below.
+            # (Basic's ratio used to be exactly 1.0 by construction; with
+            # overlap-driven generation it scans only the candidate pairs
+            # that can gain, so it now sits at or below 1.0.)
             assert mean_ratio < basic_mean
-            assert basic_mean == pytest.approx(1.0)
+            assert basic_mean <= 1.0 + 1e-9
         assert all(0.0 <= r <= 1.0 for r in ratios)
     report_writer("fig5_update_ratio", "\n".join(lines))
 

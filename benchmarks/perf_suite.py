@@ -1,0 +1,30 @@
+#!/usr/bin/env python
+"""Standalone runner for the CSPM perf suite (``repro.perf.suite``).
+
+Usage (from the repo root)::
+
+    python benchmarks/perf_suite.py --quick --check benchmarks/perf_bounds.json
+
+Emits ``BENCH_cspm.json`` at the repo root by default; CI's perf-smoke
+job runs exactly the command above and uploads the document as an
+artifact.  Equivalent CLI spelling: ``repro bench``.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+if __name__ == "__main__":
+    try:
+        from repro.perf.suite import main
+    except ImportError:
+        sys.path.insert(0, str(REPO_ROOT / "src"))
+        from repro.perf.suite import main
+
+    argv = sys.argv[1:]
+    if not any(arg == "--out" or arg.startswith("--out=") for arg in argv):
+        argv = ["--out", str(REPO_ROOT / "BENCH_cspm.json")] + argv
+    sys.exit(main(argv))

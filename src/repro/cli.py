@@ -8,6 +8,7 @@ Subcommands::
     python -m repro.cli datasets                 # list dataset analogues
     python -m repro.cli generate <name> out.json # write an analogue
     python -m repro.cli alarms                   # Fig. 8 style comparison
+    python -m repro.cli bench --quick            # perf suite -> BENCH_cspm.json
 
 Every subcommand goes through the typed public API: mining options are
 collected into a :class:`repro.config.CSPMConfig` and handed to the
@@ -95,6 +96,29 @@ def _add_alarms(subparsers) -> None:
     )
 
 
+def _add_bench(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "bench",
+        help="run the perf suite and write BENCH_cspm.json",
+        description="Measure overlap-driven vs full-scan candidate "
+        "generation on the Fig. 5 / Table III synthetic workloads "
+        "(see repro.perf.suite).",
+    )
+    parser.add_argument(
+        "--quick", action="store_true", help="smaller sizes (CI configuration)"
+    )
+    parser.add_argument(
+        "--out", default="BENCH_cspm.json", help="output path (default: cwd)"
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--check",
+        default=None,
+        metavar="BOUNDS_JSON",
+        help="assert counter bounds; exit 1 on regression",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -106,6 +130,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_datasets(subparsers)
     _add_generate(subparsers)
     _add_alarms(subparsers)
+    _add_bench(subparsers)
     return parser
 
 
@@ -200,12 +225,37 @@ def _command_alarms(args) -> int:
     return 0
 
 
+def _command_bench(args) -> int:
+    import json
+
+    from repro.perf.suite import check_bounds, run_suite, summarize
+
+    document = run_suite(quick=args.quick, seed=args.seed, log=print)
+    with open(args.out, "w") as handle:
+        json.dump(document, handle, indent=2)
+        handle.write("\n")
+    print(f"\nwrote {args.out}")
+    print(summarize(document))
+    if args.check:
+        with open(args.check) as handle:
+            bounds = json.load(handle)
+        failures = check_bounds(document, bounds)
+        if failures:
+            print("\nPERF REGRESSION:", file=sys.stderr)
+            for failure in failures:
+                print(f"  {failure}", file=sys.stderr)
+            return 1
+        print(f"\ncounter bounds OK ({args.check})")
+    return 0
+
+
 _COMMANDS = {
     "mine": _command_mine,
     "stats": _command_stats,
     "datasets": _command_datasets,
     "generate": _command_generate,
     "alarms": _command_alarms,
+    "bench": _command_bench,
 }
 
 

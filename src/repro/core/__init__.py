@@ -6,10 +6,12 @@ modules expose the machinery for tests, ablations and instrumentation.
 """
 
 from repro.core.astar import AStar
+from repro.core.candidates import LeafsetInterner
 from repro.core.code_table import CoreCodeTable, StandardCodeTable
 from repro.core.inverted_db import InvertedDatabase, MergeOutcome
 from repro.core.mdl import DescriptionLength, conditional_entropy, description_length
 from repro.core.miner import CSPM, CSPMResult
+from repro.core.pairgen import overlap_pairs
 from repro.core.scoring import AStarScorer
 
 __all__ = [
@@ -20,8 +22,10 @@ __all__ = [
     "CoreCodeTable",
     "DescriptionLength",
     "InvertedDatabase",
+    "LeafsetInterner",
     "MergeOutcome",
     "StandardCodeTable",
     "conditional_entropy",
     "description_length",
+    "overlap_pairs",
 ]

@@ -4,31 +4,118 @@ A *candidate* is an unordered pair of leafsets with a positive merge
 gain (Algorithm 2).  :class:`CandidateQueue` keeps candidates ordered
 by descending gain with deterministic tie-breaking, supporting the
 update/discard operations needed by CSPM-Partial (Algorithm 4).
+
+Ordering strategy
+-----------------
+Canonical pair order and queue tie-breaking need a deterministic,
+hash-seed-independent total order over leafsets.  The seed derived one
+from ``repr`` strings, which made every comparison a tuple-of-strings
+comparison and cached the keys in an unbounded module-level
+``lru_cache`` (leaking leafsets across runs in long-lived processes).
+Ordering is now provided by :class:`LeafsetInterner`, a *per-database*
+registry that assigns each leafset a stable integer id at first sight:
+comparisons become integer ops and all ordering state dies with the
+database that owns it.  The repr-based :func:`leafset_sort_key` remains
+(uncached) for serialisation paths that must stay stable across
+processes regardless of interning order.
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
-from functools import lru_cache
 from typing import Dict, FrozenSet, Hashable, Iterable, Iterator, List, Optional, Tuple
 
 LeafKey = FrozenSet[Hashable]
 Pair = Tuple[LeafKey, LeafKey]
 
 
-@lru_cache(maxsize=None)
 def leafset_sort_key(leaf: LeafKey) -> Tuple[str, ...]:
-    """Deterministic, hash-independent ordering key for a leafset.
+    """Deterministic, hash-independent (repr-based) key for a leafset.
 
-    Cached: the same (immutable) leafsets are compared many times
-    during candidate maintenance.
+    Process-independent, so it anchors serialisation order (MDL sums,
+    code-table export, trace records).  Hot-path ordering uses
+    :class:`LeafsetInterner` ids instead.
     """
     return tuple(sorted(map(repr, leaf)))
 
 
+class LeafsetInterner:
+    """Per-database registry of stable integer leafset ids.
+
+    Ids are assigned at first sight and never change, so any fixed
+    intern order yields a deterministic, hash-seed-independent total
+    order over leafsets.  :meth:`repro.core.inverted_db.InvertedDatabase`
+    interns its initial leafsets in repr-sorted order (matching the
+    seed's ordering exactly at seeding time) and each merged leafset at
+    merge time, keeping every downstream comparison an integer op.
+    """
+
+    __slots__ = ("_ids", "_leafsets")
+
+    def __init__(self) -> None:
+        self._ids: Dict[LeafKey, int] = {}
+        self._leafsets: List[LeafKey] = []
+
+    def __len__(self) -> int:
+        return len(self._ids)
+
+    def __contains__(self, leaf: LeafKey) -> bool:
+        return leaf in self._ids
+
+    def intern(self, leaf: LeafKey) -> int:
+        """The id of ``leaf``, assigning the next free id at first sight."""
+        ids = self._ids
+        found = ids.get(leaf)
+        if found is None:
+            found = len(self._leafsets)
+            ids[leaf] = found
+            self._leafsets.append(leaf)
+        return found
+
+    def intern_all(self, leafsets: Iterable[LeafKey]) -> None:
+        """Intern ``leafsets`` in the given order."""
+        for leaf in leafsets:
+            self.intern(leaf)
+
+    def leafset_of(self, leaf_id: int) -> LeafKey:
+        """The leafset registered under ``leaf_id``."""
+        return self._leafsets[leaf_id]
+
+    def sort_key(self, leaf: LeafKey) -> int:
+        """Integer ordering key (interns unseen leafsets)."""
+        return self.intern(leaf)
+
+    def canonical_pair(self, leaf_x: LeafKey, leaf_y: LeafKey) -> Pair:
+        """The unordered pair in canonical (ascending-id) order."""
+        if self.intern(leaf_x) <= self.intern(leaf_y):
+            return (leaf_x, leaf_y)
+        return (leaf_y, leaf_x)
+
+    def pair_key(self, pair: Pair) -> Tuple[int, int]:
+        """Integer sort key of a canonical pair."""
+        return (self.intern(pair[0]), self.intern(pair[1]))
+
+    def order(self, leafsets: Iterable[LeafKey]) -> List[LeafKey]:
+        """``leafsets`` sorted by interned id."""
+        return sorted(leafsets, key=self.intern)
+
+    def copy(self) -> "LeafsetInterner":
+        clone = LeafsetInterner()
+        clone._ids = dict(self._ids)
+        clone._leafsets = list(self._leafsets)
+        return clone
+
+    def __repr__(self) -> str:
+        return f"LeafsetInterner({len(self._ids)} leafsets)"
+
+
 def canonical_pair(leaf_x: LeafKey, leaf_y: LeafKey) -> Pair:
-    """The unordered pair in canonical (sorted) order."""
+    """The unordered pair in canonical (repr-sorted) order.
+
+    Registry-free fallback; search code paths use
+    :meth:`LeafsetInterner.canonical_pair`.
+    """
     if leafset_sort_key(leaf_x) <= leafset_sort_key(leaf_y):
         return (leaf_x, leaf_y)
     return (leaf_y, leaf_x)
@@ -38,9 +125,19 @@ def pair_sort_key(pair: Pair) -> Tuple:
     return (leafset_sort_key(pair[0]), leafset_sort_key(pair[1]))
 
 
-def enumerate_pairs(leafsets: Iterable[LeafKey]) -> Iterator[Pair]:
-    """All unordered pairs, in deterministic order (Alg. 2, line 2)."""
-    ordered = sorted(leafsets, key=leafset_sort_key)
+def enumerate_pairs(
+    leafsets: Iterable[LeafKey],
+    interner: Optional[LeafsetInterner] = None,
+) -> Iterator[Pair]:
+    """All unordered pairs, in deterministic order (Alg. 2, line 2).
+
+    With an ``interner``, ordering (and hence tie-breaking downstream)
+    follows interned ids; without one it falls back to repr order.
+    This is the quadratic full scan — the sparse-aware generator is
+    :func:`repro.core.pairgen.overlap_pairs`.
+    """
+    key = interner.sort_key if interner is not None else leafset_sort_key
+    ordered = sorted(leafsets, key=key)
     for leaf_x, leaf_y in itertools.combinations(ordered, 2):
         yield (leaf_x, leaf_y)
 
@@ -50,13 +147,18 @@ class CandidateQueue:
 
     Entries are ``(-gain, tiebreak, version, pair)`` in a binary heap;
     a side table maps each pair to its current gain and version so
-    stale heap entries are skipped on pop.
+    stale heap entries are skipped on pop.  With an ``interner`` the
+    tiebreak is an ``(id, id)`` integer tuple; without one it falls
+    back to repr-based keys.  ``peak_size`` records the high-water mark
+    of live candidates (read by the perf harness).
     """
 
-    def __init__(self) -> None:
+    def __init__(self, interner: Optional[LeafsetInterner] = None) -> None:
         self._heap: List[Tuple[float, Tuple, int, Pair]] = []
         self._current: Dict[Pair, Tuple[float, int]] = {}
         self._version = 0
+        self._pair_key = interner.pair_key if interner is not None else pair_sort_key
+        self.peak_size = 0
 
     def __len__(self) -> int:
         return len(self._current)
@@ -75,7 +177,9 @@ class CandidateQueue:
         """Insert ``pair`` or update its gain."""
         self._version += 1
         self._current[pair] = (gain, self._version)
-        heapq.heappush(self._heap, (-gain, pair_sort_key(pair), self._version, pair))
+        heapq.heappush(self._heap, (-gain, self._pair_key(pair), self._version, pair))
+        if len(self._current) > self.peak_size:
+            self.peak_size = len(self._current)
 
     def discard(self, pair: Pair) -> None:
         """Remove ``pair`` if present (lazy: heap entry becomes stale)."""

@@ -3,7 +3,14 @@
 Rather than re-enumerating every leafset pair after each merge,
 CSPM-Partial maintains a priority queue of positive-gain candidates
 and, after a merge, refreshes only the pairs the merge could have
-affected.  Two update scopes are provided:
+affected.  Seeding is overlap-driven by default
+(:func:`repro.core.pairgen.overlap_pairs`): only pairs sharing a
+coreset with overlapping positions are evaluated, since no other pair
+can have positive gain; ``pair_source="full"`` restores the seed's
+quadratic scan (both enumerate in interned-id order, so the resulting
+queue — and hence the merge sequence — is identical).
+
+Two update scopes are provided:
 
 ``related`` (the paper's Algorithm 4, literally)
     ``rdict`` maps each leafset to the leafsets it currently forms a
@@ -27,24 +34,24 @@ affected.  Two update scopes are provided:
 Both scopes revalidate lazily on pop: merges elsewhere can only lower
 a stored gain (the coreset frequency ``fe`` shrinks), so the fresh gain
 is recomputed and the pair is either merged, pushed back, or dropped.
+
+All canonical ordering (pair orientation, queue tie-breaks, refresh
+iteration order) runs on the database's
+:class:`~repro.core.candidates.LeafsetInterner` — integer comparisons
+instead of the seed's repr-string keys.
 """
 
 from __future__ import annotations
 
 from typing import Dict, FrozenSet, Hashable, Optional, Set
 
-from repro.core.candidates import (
-    CandidateQueue,
-    canonical_pair,
-    enumerate_pairs,
-    leafset_sort_key,
-    pair_sort_key,
-)
+from repro.core.candidates import CandidateQueue, LeafsetInterner
 from repro.core.code_table import CoreCodeTable, StandardCodeTable
 from repro.core.gain import GainEngine
-from repro.core.instrumentation import IterationTrace, RunTrace
+from repro.core.instrumentation import IterationTrace, RunTrace, merged_pair_record
 from repro.core.inverted_db import InvertedDatabase, MergeOutcome
 from repro.core.mdl import description_length
+from repro.core.pairgen import generate_pairs
 from repro.errors import MiningError
 
 LeafKey = FrozenSet[Hashable]
@@ -55,24 +62,25 @@ UPDATE_SCOPES = ("exhaustive", "related")
 class _PartialState:
     """Queue + rdict bookkeeping shared by the update steps."""
 
-    def __init__(self) -> None:
-        self.queue = CandidateQueue()
+    def __init__(self, interner: LeafsetInterner) -> None:
+        self.interner = interner
+        self.queue = CandidateQueue(interner)
         self.rdict: Dict[LeafKey, Set[LeafKey]] = {}
 
     def add_candidate(self, leaf_x: LeafKey, leaf_y: LeafKey, gain: float) -> None:
-        self.queue.set(canonical_pair(leaf_x, leaf_y), gain)
+        self.queue.set(self.interner.canonical_pair(leaf_x, leaf_y), gain)
         self.rdict.setdefault(leaf_x, set()).add(leaf_y)
         self.rdict.setdefault(leaf_y, set()).add(leaf_x)
 
     def drop_candidate(self, leaf_x: LeafKey, leaf_y: LeafKey) -> None:
-        self.queue.discard(canonical_pair(leaf_x, leaf_y))
+        self.queue.discard(self.interner.canonical_pair(leaf_x, leaf_y))
         self.unlink(leaf_x, leaf_y)
         self.unlink(leaf_y, leaf_x)
 
     def drop_leafset(self, leaf: LeafKey) -> None:
         """Remove every candidate involving ``leaf`` (Alg. 4, step 1)."""
         for rel in self.rdict.pop(leaf, set()):
-            self.queue.discard(canonical_pair(leaf, rel))
+            self.queue.discard(self.interner.canonical_pair(leaf, rel))
             self.unlink(rel, leaf)
 
     def related(self, leaf: LeafKey) -> Set[LeafKey]:
@@ -94,6 +102,7 @@ def run_partial(
     max_iterations: Optional[int] = None,
     update_scope: str = "exhaustive",
     initial_dl_bits: Optional[float] = None,
+    pair_source: str = "overlap",
 ) -> RunTrace:
     """Run CSPM-Partial to convergence, mutating ``db`` in place."""
     if update_scope not in UPDATE_SCOPES:
@@ -106,14 +115,15 @@ def run_partial(
     dl = initial_dl_bits
     trace.initial_dl_bits = dl
     engine = GainEngine(db, standard_table, core_table)
+    interner = db.interner
 
     def net_gain(leaf_x: LeafKey, leaf_y: LeafKey):
         breakdown = engine.gain(leaf_x, leaf_y)
         return breakdown, breakdown.net(include_model_cost)
 
-    state = _PartialState()
+    state = _PartialState(interner)
     initial_gains = 0
-    for leaf_x, leaf_y in enumerate_pairs(db.leafsets()):
+    for leaf_x, leaf_y in generate_pairs(db, pair_source):
         _breakdown, gain = net_gain(leaf_x, leaf_y)
         initial_gains += 1
         if gain > GAIN_EPS:
@@ -143,9 +153,10 @@ def run_partial(
         next_best = state.queue.peek()
         if next_best is not None:
             next_pair, next_gain = next_best
-            pair = canonical_pair(leaf_x, leaf_y)
+            pair = interner.canonical_pair(leaf_x, leaf_y)
             if gain < next_gain or (
-                gain == next_gain and pair_sort_key(pair) > pair_sort_key(next_pair)
+                gain == next_gain
+                and interner.pair_key(pair) > interner.pair_key(next_pair)
             ):
                 state.queue.set(pair, gain)
                 continue
@@ -177,15 +188,13 @@ def run_partial(
                 gains_computed=gains_computed,
                 possible_pairs=possible,
                 num_leafsets=num_leafsets,
-                merged_pair=(
-                    tuple(sorted(map(repr, leaf_x))),
-                    tuple(sorted(map(repr, leaf_y))),
-                ),
+                merged_pair=merged_pair_record(leaf_x, leaf_y),
                 gain=gain,
                 total_dl_bits=dl,
             )
         )
     trace.final_dl_bits = dl
+    trace.peak_queue_size = state.queue.peak_size
     return trace
 
 
@@ -199,10 +208,11 @@ def _update_related(
 ) -> int:
     """Algorithm 4 literally: rdict-scoped updates.  Returns #gains."""
     gains = 0
+    interner = state.interner
     new_leaf = outcome.new_leafset
     # (2) Add pairs with the new leafset, scoped to rdict[x] & rdict[y].
     if db.has_leafset(new_leaf):
-        for rel in sorted(related_x & related_y, key=leafset_sort_key):
+        for rel in interner.order(related_x & related_y):
             if rel == new_leaf or not db.has_leafset(rel):
                 continue
             _breakdown, gain = net_gain(rel, new_leaf)
@@ -211,9 +221,9 @@ def _update_related(
                 state.add_candidate(rel, new_leaf, gain)
     # (3) Update influenced pairs of the partly merged survivors.
     refreshed = set()
-    for leaf in sorted(outcome.partly_merged_leafsets, key=leafset_sort_key):
-        for rel in sorted(state.related(leaf), key=leafset_sort_key):
-            pair = canonical_pair(leaf, rel)
+    for leaf in interner.order(outcome.partly_merged_leafsets):
+        for rel in interner.order(state.related(leaf)):
+            pair = interner.canonical_pair(leaf, rel)
             if pair in refreshed:
                 continue
             refreshed.add(pair)
@@ -245,6 +255,7 @@ def _update_exhaustive(
     gain computations.
     """
     gains = 0
+    interner = state.interner
     new_leaf = outcome.new_leafset
     focus = set(outcome.partly_merged_leafsets)
     if db.has_leafset(new_leaf):
@@ -252,15 +263,15 @@ def _update_exhaustive(
     rel_pool: set = set()
     for core in outcome.touched_coresets:
         rel_pool |= db.leafsets_of(core)
-    rel_ordered = sorted(rel_pool, key=leafset_sort_key)
+    rel_ordered = interner.order(rel_pool)
     refreshed = set()
-    for leaf in sorted(focus, key=leafset_sort_key):
+    for leaf in interner.order(focus):
         if not db.has_leafset(leaf):
             continue
         for rel in rel_ordered:
             if rel == leaf or not db.has_leafset(rel):
                 continue
-            pair = canonical_pair(leaf, rel)
+            pair = interner.canonical_pair(leaf, rel)
             if pair in refreshed:
                 continue
             refreshed.add(pair)
@@ -279,12 +290,12 @@ def _update_exhaustive(
             for leaf in db.leafsets()
             if leaf < new_leaf and leaf not in focus
         ]
-        subsets.sort(key=leafset_sort_key)
+        subsets = interner.order(subsets)
         for i, leaf in enumerate(subsets):
             for rel in subsets[i + 1 :]:
                 if (leaf | rel) != new_leaf:
                     continue
-                pair = canonical_pair(leaf, rel)
+                pair = interner.canonical_pair(leaf, rel)
                 if pair in refreshed:
                     continue
                 refreshed.add(pair)

@@ -77,11 +77,20 @@ class GainEngine:
 
     Semantically identical to :func:`pair_gain` (tests assert this) but
     avoids per-call overhead: ``x*log2(x)`` values are served from a
-    lookup table (row frequencies only ever shrink, so the initial
-    total frequency bounds every argument), leafset standard-code costs
-    and coreset pointer lengths are cached, and the inner loop reads
-    the database's row dictionaries directly.
+    lazily-grown lookup table, leafset standard-code costs and coreset
+    pointer lengths are cached, and the inner loop reads the database's
+    row dictionaries directly.
+
+    The table grows geometrically on demand, so it ends up sized to the
+    largest coreset frequency actually encountered (every Eq. 10-15
+    argument is bounded by some ``fe``) rather than the database's total
+    frequency — tiny graphs in ``fit_many`` batches no longer each
+    allocate a table proportional to ``total_frequency()``.  Arguments
+    beyond ``_XLOGX_CAP`` fall back to direct computation instead of
+    materialising an extreme-scale table.
     """
+
+    _XLOGX_CAP = 4_000_000
 
     def __init__(
         self,
@@ -94,19 +103,20 @@ class GainEngine:
         self.core_table = core_table
         self._leaf_cost = {}
         self._pointer = {}
-        limit = db.total_frequency() + 2
-        if limit <= 4_000_000:
-            import math as _math
-
-            log2 = _math.log2
-            self._xlogx = [0.0, 0.0] + [i * log2(i) for i in range(2, limit)]
-        else:  # pragma: no cover - guard for extreme scales
-            self._xlogx = None
+        self._xlogx = [0.0, 0.0]
 
     def _xl(self, x: int) -> float:
-        if self._xlogx is not None:
-            return self._xlogx[x]
-        return xlog2x(x)
+        table = self._xlogx
+        if x < len(table):
+            return table[x]
+        if x > self._XLOGX_CAP:  # pragma: no cover - guard for extreme scales
+            return xlog2x(x)
+        import math as _math
+
+        log2 = _math.log2
+        new_size = min(max(x + 1, 2 * len(table)), self._XLOGX_CAP + 1)
+        table.extend(i * log2(i) for i in range(len(table), new_size))
+        return table[x]
 
     def leaf_cost(self, leaf: LeafKey) -> float:
         cost = self._leaf_cost.get(leaf)

@@ -5,12 +5,34 @@ The *gain update ratio* of an iteration is the number of gain values
 computed (added or refreshed) divided by the number of possible leafset
 pairs at that point — exactly the quantity plotted in the paper's
 Fig. 5.
+
+On top of the serialised trace, :class:`RunTrace` carries process-local
+perf counters (``peak_queue_size``) read by the perf harness
+(``repro.perf.suite``).  They are deliberately *not* part of the
+serialised schema: the ``mine --json`` golden file pins schema v1
+byte-for-byte, and the counters describe the run's machinery, not its
+mined output.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Mapping, Optional, Tuple
+from typing import Any, Dict, FrozenSet, Hashable, List, Mapping, Optional, Tuple
+
+
+def merged_pair_record(
+    leaf_x: FrozenSet[Hashable], leaf_y: FrozenSet[Hashable]
+) -> Tuple[Tuple, Tuple]:
+    """The serialisable ``merged_pair`` entry for a trace iteration.
+
+    Each leafset becomes a sorted tuple of value reprs and the pair is
+    itself repr-sorted, so the recorded orientation is stable across
+    processes and independent of the in-memory (interned-id) pair
+    order — exactly the representation the golden file pins.
+    """
+    key_x = tuple(sorted(map(repr, leaf_x)))
+    key_y = tuple(sorted(map(repr, leaf_y)))
+    return (key_x, key_y) if key_x <= key_y else (key_y, key_x)
 
 
 @dataclass(frozen=True)
@@ -71,6 +93,8 @@ class RunTrace:
     final_dl_bits: float = 0.0
     initial_candidate_gains: int = 0
     iterations: List[IterationTrace] = field(default_factory=list)
+    # Process-local perf counters (not serialised; see module docstring).
+    peak_queue_size: int = 0
 
     @property
     def num_iterations(self) -> int:

@@ -23,6 +23,7 @@ Invariants maintained by this class (checked by :meth:`validate`):
 
 from __future__ import annotations
 
+from bisect import insort
 from dataclasses import dataclass, field
 from typing import (
     Dict,
@@ -37,6 +38,7 @@ from typing import (
     Tuple,
 )
 
+from repro.core.candidates import LeafsetInterner
 from repro.errors import MiningError
 from repro.graphs.attributed_graph import AttributedGraph
 
@@ -110,10 +112,19 @@ class InvertedDatabase:
         self._vertex_ids: List[Vertex] = []
         self._vertex_bit: Dict[Vertex, int] = {}
         # Union of a leafset's row positions over all its coresets.
-        # Disjoint unions imply zero gain, which lets gain evaluation
-        # short-circuit with a single AND (most pairs in community-
-        # structured graphs are disjoint).
+        # Disjoint unions imply zero gain, which lets candidate
+        # generation and gain evaluation short-circuit with a single
+        # AND (most pairs in community-structured graphs are disjoint).
         self._leaf_union: Dict[LeafKey, int] = {}
+        # Stable integer leafset ids: initial leafsets are interned in
+        # repr-sorted order at construction, merged leafsets at merge
+        # time, so ordering is deterministic and hash-seed-independent
+        # while comparisons stay integer ops.
+        self._interner = LeafsetInterner()
+        # Per-coreset sorted leafset-id lists, the adjacency candidate
+        # generation enumerates.  Maintained incrementally: a merge
+        # touches only its common coresets, so only those lists change.
+        self._core_leaf_ids: Dict[CoreKey, List[int]] = {}
 
     # ------------------------------------------------------------------
     # Construction
@@ -156,6 +167,16 @@ class InvertedDatabase:
             for vertex in sorted(vertices, key=repr):
                 for leaf_value in graph.neighbor_values(vertex):
                     db._add_position(core_key, frozenset([leaf_value]), vertex)
+        # Intern the initial leafsets in repr-sorted order: first-sight
+        # ids then coincide with the repr ordering the seed used, so
+        # seeding-time tie-breaks are unchanged and independent of the
+        # (hash-seed-dependent) set iteration order above.
+        db._interner.intern_all(sorted(db._leaf_to_cores, key=_key_of))
+        intern = db._interner.intern
+        db._core_leaf_ids = {
+            core: sorted(intern(leaf) for leaf in leaves)
+            for core, leaves in db._core_to_leaves.items()
+        }
         return db
 
     def _bit_of(self, vertex: Vertex) -> int:
@@ -212,9 +233,32 @@ class InvertedDatabase:
         for (core, leaf), bits in self._rows.items():
             yield core, leaf, bits.bit_count()
 
+    @property
+    def interner(self) -> LeafsetInterner:
+        """The database's leafset-id registry (ordering authority)."""
+        return self._interner
+
     def leafsets(self) -> List[LeafKey]:
         """All distinct leafsets currently present."""
         return list(self._leaf_to_cores)
+
+    def coreset_leafset_index(self) -> Mapping[CoreKey, Set[LeafKey]]:
+        """The live coreset -> leafsets adjacency (do not mutate).
+
+        Maintained incrementally across merges; this is what
+        :func:`repro.core.pairgen.overlap_pairs` enumerates instead of
+        the quadratic all-pairs scan.
+        """
+        return self._core_to_leaves
+
+    def coreset_leaf_ids(self) -> Mapping[CoreKey, List[int]]:
+        """Per-coreset sorted interned leafset ids (do not mutate).
+
+        The id-level view of :meth:`coreset_leafset_index`, kept sorted
+        incrementally so candidate generation never re-sorts adjacency
+        lists.
+        """
+        return self._core_leaf_ids
 
     def coresets(self) -> List[CoreKey]:
         """All coresets with at least one row."""
@@ -307,6 +351,10 @@ class InvertedDatabase:
         if leaf_x not in self._leaf_to_cores or leaf_y not in self._leaf_to_cores:
             raise MiningError("both leafsets must exist in the database")
         new_leaf = leaf_x | leaf_y
+        # Register the merged leafset now: merge order is deterministic,
+        # so first-sight ids stay deterministic too.
+        new_id = self._interner.intern(new_leaf)
+        intern = self._interner.intern
         outcome = MergeOutcome(leaf_x=leaf_x, leaf_y=leaf_y, new_leafset=new_leaf)
         for core in sorted(self.common_coresets(leaf_x, leaf_y), key=_key_of):
             px = self._rows[(core, leaf_x)]
@@ -330,6 +378,7 @@ class InvertedDatabase:
                 self._rows[target_key] = inter
                 self._leaf_to_cores.setdefault(new_leaf, set()).add(core)
                 self._core_to_leaves.setdefault(core, set()).add(new_leaf)
+                insort(self._core_leaf_ids[core], new_id)
             else:
                 # Disjointness holds because per (coreset, vertex) each
                 # leaf value is covered by exactly one row.
@@ -342,8 +391,10 @@ class InvertedDatabase:
                 else:
                     del self._rows[(core, leaf)]
                     self._core_to_leaves[core].discard(leaf)
+                    self._core_leaf_ids[core].remove(intern(leaf))
                     if not self._core_to_leaves[core]:
                         del self._core_to_leaves[core]
+                        del self._core_leaf_ids[core]
                     cores = self._leaf_to_cores[leaf]
                     cores.discard(core)
                     if not cores:
@@ -401,6 +452,17 @@ class InvertedDatabase:
                 union |= self._rows[(core, leaf)]
             if self._leaf_union.get(leaf, 0) != union:
                 raise MiningError(f"stale union mask for leafset {set(leaf)}")
+        for leaf in self._leaf_to_cores:
+            if leaf not in self._interner:
+                raise MiningError(f"leafset {set(leaf)} missing from interner")
+        if set(self._core_leaf_ids) != set(self._core_to_leaves):
+            raise MiningError("coreset id-list index out of sync with adjacency")
+        for core, leaves in self._core_to_leaves.items():
+            expected_ids = sorted(self._interner.intern(leaf) for leaf in leaves)
+            if self._core_leaf_ids[core] != expected_ids:
+                raise MiningError(
+                    f"stale sorted id list for coreset {set(core)}"
+                )
         if graph is not None:
             self._validate_lossless(graph)
 
@@ -450,6 +512,10 @@ class InvertedDatabase:
         db._vertex_ids = list(self._vertex_ids)
         db._vertex_bit = dict(self._vertex_bit)
         db._leaf_union = dict(self._leaf_union)
+        db._interner = self._interner.copy()
+        db._core_leaf_ids = {
+            core: list(ids) for core, ids in self._core_leaf_ids.items()
+        }
         return db
 
     def __repr__(self) -> str:

@@ -1,0 +1,16 @@
+"""Performance measurement: the ``BENCH_cspm.json`` perf trajectory.
+
+:mod:`repro.perf.suite` runs the Fig. 5 / Table III style synthetic
+workloads across sizes, comparing overlap-driven candidate generation
+against the quadratic full scan, and records wall-clock plus the
+counter series (``initial_candidate_gains``, ``gains_computed``,
+``peak_queue_size``) that make regressions assertable without flaky
+wall-clock thresholds.
+
+Entry points: ``repro bench`` (CLI) and ``benchmarks/perf_suite.py``
+(standalone script; what CI's perf-smoke job runs).
+"""
+
+from repro.perf.suite import check_bounds, run_suite
+
+__all__ = ["check_bounds", "run_suite"]

@@ -1,0 +1,375 @@
+"""The perf-benchmark suite behind ``BENCH_cspm.json``.
+
+The suite reproduces the *shape* of the paper's scaling measurements
+(Fig. 5: gain computations touched per step; Table III: runtime of the
+search variants) on deterministic synthetic workloads, and runs every
+configuration twice — once with the overlap-driven candidate generator
+(:mod:`repro.core.pairgen`) and once with the quadratic full scan — so
+the sparse-aware speedup is measured on otherwise identical code.
+
+Workloads
+---------
+``sparse-scaling``
+    A planted-community graph family with *disjoint* per-community
+    value pools: the co-occurrence structure is genuinely sparse, like
+    the paper's large real graphs where ``|SL|`` is large but only
+    neighbourhood-correlated values ever co-occur.  The series scales
+    the number of communities, which scales ``|SL|`` (and hence the
+    quadratic scan) while per-pair work stays flat.  Both search
+    variants run here; this is the workload the acceptance counters
+    are pinned on.
+``dblp`` / ``dblp-trend`` / ``usflight``
+    The Table II dataset analogues (small, dense value universes).
+    These bound the *other* end: when almost every value pair
+    co-occurs, overlap generation must not be slower than the scan it
+    replaces.  CSPM-Partial only, matching how Table III treats the
+    large graphs.
+
+Every run records wall-clock and the trace counters
+(``initial_candidate_gains``, ``total_gain_computations``,
+``peak_queue_size``, iterations, final DL bits).  Counters are
+structural — determined by the graph, not the machine — so CI asserts
+regressions on them (``--check benchmarks/perf_bounds.json``) instead
+of on flaky wall-clock thresholds; wall-clock is recorded for the
+human-readable trajectory.
+
+Output document (``BENCH_cspm.json``, schema v1)::
+
+    {
+      "schema_version": 1,
+      "suite": "cspm-perf",
+      "quick": bool,
+      "workloads": [
+        {
+          "workload": "sparse-scaling",
+          "kind": "synthetic-community",
+          "series": [
+            {
+              "label": "communities=16",
+              "num_vertices": int, "num_leafsets": int,
+              "possible_pairs": int,
+              "runs": {
+                "partial/overlap": {
+                  "wall_seconds": float,
+                  "initial_candidate_gains": int,
+                  "total_gain_computations": int,
+                  "peak_queue_size": int,
+                  "iterations": int,
+                  "final_dl_bits": float
+                },
+                "partial/full": {...}, "basic/overlap": {...}, ...
+              },
+              "seeding_gain_reduction": float,   # full/overlap seed gains
+              "partial_wall_speedup": float,     # full/overlap wall
+              "basic_wall_speedup": float|null
+            }, ...
+          ]
+        }, ...
+      ]
+    }
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.config import CSPMConfig
+from repro.core.cspm_basic import run_basic
+from repro.core.cspm_partial import run_partial
+from repro.datasets import load_dataset
+from repro.datasets.synthetic import community_attributed_graph
+from repro.graphs.attributed_graph import AttributedGraph
+from repro.pipeline import BuildInvertedDB, EncodeCoresets, PipelineContext
+
+SCHEMA_VERSION = 1
+
+# The sparse community family: disjoint 6-value pools, 25 vertices per
+# community, light cross-community wiring.  Scaling the community count
+# scales |SL| linearly and the full pair scan quadratically while the
+# overlap neighbourhood per leafset stays constant.
+SPARSE_POOL_SIZE = 6
+SPARSE_COMMUNITY_SIZE = 25
+
+# Community counts per suite flavour.  Basic (the quadratic search) is
+# capped: its full-scan reference is exactly the blow-up being measured.
+SPARSE_SIZES_QUICK = (16, 32, 48)
+SPARSE_SIZES_FULL = (16, 32, 48, 64)
+DATASET_SCALE_QUICK = 0.5
+DATASET_SCALE_FULL = 1.0
+
+
+def sparse_scaling_graph(num_communities: int, seed: int = 0) -> AttributedGraph:
+    """The ``sparse-scaling`` family member with ``num_communities``."""
+    pools = [
+        [f"c{community}v{value}" for value in range(SPARSE_POOL_SIZE)]
+        for community in range(num_communities)
+    ]
+    return community_attributed_graph(
+        community_sizes=[SPARSE_COMMUNITY_SIZE] * num_communities,
+        community_pools=pools,
+        values_per_vertex=(2, 3),
+        intra_degree=2.5,
+        inter_degree=0.1,
+        seed=seed,
+    )
+
+
+def _prepare(graph: AttributedGraph):
+    """Encode coresets + build the inverted DB once per workload size."""
+    context = PipelineContext(graph=graph, config=CSPMConfig())
+    EncodeCoresets().run(context)
+    BuildInvertedDB().run(context)
+    return (
+        context.inverted_db,
+        context.standard_table,
+        context.core_table,
+        context.initial_dl.total_bits,
+    )
+
+
+def _run_case(
+    db0, standard, core, initial_bits: float, algorithm: str, pair_source: str
+) -> Dict[str, Any]:
+    """One measured search run on a fresh copy of the database."""
+    db = db0.copy()
+    runner = run_basic if algorithm == "basic" else run_partial
+    start = time.perf_counter()
+    trace = runner(
+        db, standard, core, initial_dl_bits=initial_bits, pair_source=pair_source
+    )
+    wall = time.perf_counter() - start
+    return {
+        "wall_seconds": round(wall, 6),
+        "initial_candidate_gains": trace.initial_candidate_gains,
+        "total_gain_computations": trace.total_gain_computations,
+        "peak_queue_size": trace.peak_queue_size,
+        "iterations": trace.num_iterations,
+        "final_dl_bits": trace.final_dl_bits,
+    }
+
+
+def _measure_size(
+    graph: AttributedGraph, label: str, run_basic_too: bool
+) -> Dict[str, Any]:
+    """All (algorithm, pair_source) runs for one workload size."""
+    db0, standard, core, initial_bits = _prepare(graph)
+    num_leafsets = len(db0.leafsets())
+    runs: Dict[str, Dict[str, Any]] = {}
+    algorithms = ["partial"] + (["basic"] if run_basic_too else [])
+    for algorithm in algorithms:
+        for pair_source in ("overlap", "full"):
+            runs[f"{algorithm}/{pair_source}"] = _run_case(
+                db0, standard, core, initial_bits, algorithm, pair_source
+            )
+    entry: Dict[str, Any] = {
+        "label": label,
+        "num_vertices": graph.num_vertices,
+        "num_leafsets": num_leafsets,
+        "possible_pairs": num_leafsets * (num_leafsets - 1) // 2,
+        "runs": runs,
+    }
+    overlap = runs["partial/overlap"]
+    full = runs["partial/full"]
+    entry["seeding_gain_reduction"] = round(
+        full["initial_candidate_gains"] / max(1, overlap["initial_candidate_gains"]),
+        3,
+    )
+    entry["partial_wall_speedup"] = round(
+        full["wall_seconds"] / max(1e-9, overlap["wall_seconds"]), 3
+    )
+    if run_basic_too:
+        entry["basic_wall_speedup"] = round(
+            runs["basic/full"]["wall_seconds"]
+            / max(1e-9, runs["basic/overlap"]["wall_seconds"]),
+            3,
+        )
+    else:
+        entry["basic_wall_speedup"] = None
+    return entry
+
+
+def run_suite(
+    quick: bool = False,
+    seed: int = 0,
+    log=None,
+) -> Dict[str, Any]:
+    """Run every workload and return the ``BENCH_cspm.json`` document."""
+
+    def say(message: str) -> None:
+        if log is not None:
+            log(message)
+
+    workloads: List[Dict[str, Any]] = []
+
+    sizes = SPARSE_SIZES_QUICK if quick else SPARSE_SIZES_FULL
+    series = []
+    for num_communities in sizes:
+        say(f"sparse-scaling: communities={num_communities} ...")
+        graph = sparse_scaling_graph(num_communities, seed=seed)
+        series.append(
+            _measure_size(
+                graph, f"communities={num_communities}", run_basic_too=True
+            )
+        )
+    workloads.append(
+        {
+            "workload": "sparse-scaling",
+            "kind": "synthetic-community",
+            "pool_size": SPARSE_POOL_SIZE,
+            "community_size": SPARSE_COMMUNITY_SIZE,
+            "series": series,
+        }
+    )
+
+    scale = DATASET_SCALE_QUICK if quick else DATASET_SCALE_FULL
+    for name in ("dblp", "dblp-trend", "usflight"):
+        say(f"dataset analogue: {name} (scale={scale}) ...")
+        graph = load_dataset(name, scale=scale, seed=seed)
+        workloads.append(
+            {
+                "workload": name,
+                "kind": "dataset-analogue",
+                "scale": scale,
+                "series": [
+                    _measure_size(graph, f"scale={scale}", run_basic_too=False)
+                ],
+            }
+        )
+
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "suite": "cspm-perf",
+        "quick": quick,
+        "seed": seed,
+        "workloads": workloads,
+    }
+
+
+def summarize(document: Dict[str, Any]) -> str:
+    """A human-readable table of the measured trajectory."""
+    lines = [
+        f"{'workload':<16}{'size':<16}{'|SL|':>6}{'pairs':>9}"
+        f"{'seed red.':>10}{'partial x':>10}{'basic x':>9}"
+        f"{'partial s':>10}{'peak Q':>8}"
+    ]
+    lines.append("-" * len(lines[0]))
+    for workload in document["workloads"]:
+        for entry in workload["series"]:
+            partial = entry["runs"]["partial/overlap"]
+            basic_speedup = entry["basic_wall_speedup"]
+            lines.append(
+                f"{workload['workload']:<16}{entry['label']:<16}"
+                f"{entry['num_leafsets']:>6}{entry['possible_pairs']:>9}"
+                f"{entry['seeding_gain_reduction']:>10.2f}"
+                f"{entry['partial_wall_speedup']:>10.2f}"
+                f"{basic_speedup if basic_speedup is not None else float('nan'):>9.2f}"
+                f"{partial['wall_seconds']:>10.3f}"
+                f"{partial['peak_queue_size']:>8}"
+            )
+    return "\n".join(lines)
+
+
+def check_bounds(
+    document: Dict[str, Any], bounds: Dict[str, Any]
+) -> List[str]:
+    """Counter-based regression check; returns failure messages.
+
+    ``bounds`` maps workload name -> series label -> constraints:
+
+    ``max_initial_candidate_gains``
+        Upper bound on the overlap run's seeding gain evaluations
+        (structural: grows only if candidate generation regresses).
+    ``min_seeding_gain_reduction``
+        Lower bound on full/overlap seeding gains.
+    ``max_total_gain_computations``
+        Upper bound on the overlap run's total gain evaluations.
+    """
+    failures: List[str] = []
+    by_name = {w["workload"]: w for w in document["workloads"]}
+    for workload_name, per_label in bounds.items():
+        if workload_name.startswith("__"):  # comment keys
+            continue
+        workload = by_name.get(workload_name)
+        if workload is None:
+            failures.append(f"workload {workload_name!r} missing from document")
+            continue
+        by_label = {entry["label"]: entry for entry in workload["series"]}
+        for label, constraints in per_label.items():
+            entry = by_label.get(label)
+            if entry is None:
+                failures.append(
+                    f"{workload_name}: series {label!r} missing from document"
+                )
+                continue
+            overlap = entry["runs"]["partial/overlap"]
+            limit = constraints.get("max_initial_candidate_gains")
+            if limit is not None and overlap["initial_candidate_gains"] > limit:
+                failures.append(
+                    f"{workload_name}/{label}: initial_candidate_gains "
+                    f"{overlap['initial_candidate_gains']} > bound {limit}"
+                )
+            floor = constraints.get("min_seeding_gain_reduction")
+            if floor is not None and entry["seeding_gain_reduction"] < floor:
+                failures.append(
+                    f"{workload_name}/{label}: seeding_gain_reduction "
+                    f"{entry['seeding_gain_reduction']} < bound {floor}"
+                )
+            limit = constraints.get("max_total_gain_computations")
+            if limit is not None and overlap["total_gain_computations"] > limit:
+                failures.append(
+                    f"{workload_name}/{label}: total_gain_computations "
+                    f"{overlap['total_gain_computations']} > bound {limit}"
+                )
+    return failures
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="perf_suite",
+        description="CSPM perf suite: emit the BENCH_cspm.json trajectory",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="smaller sizes/scales (the CI perf-smoke configuration)",
+    )
+    parser.add_argument(
+        "--out",
+        default="BENCH_cspm.json",
+        help="output path (default: BENCH_cspm.json in the cwd)",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--check",
+        default=None,
+        metavar="BOUNDS_JSON",
+        help="assert counter bounds from this file; exit 1 on regression",
+    )
+    args = parser.parse_args(argv)
+
+    document = run_suite(quick=args.quick, seed=args.seed, log=print)
+    with open(args.out, "w") as handle:
+        json.dump(document, handle, indent=2, sort_keys=False)
+        handle.write("\n")
+    print(f"\nwrote {args.out}")
+    print(summarize(document))
+
+    if args.check:
+        with open(args.check) as handle:
+            bounds = json.load(handle)
+        failures = check_bounds(document, bounds)
+        if failures:
+            print("\nPERF REGRESSION:", file=sys.stderr)
+            for failure in failures:
+                print(f"  {failure}", file=sys.stderr)
+            return 1
+        print(f"\ncounter bounds OK ({args.check})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

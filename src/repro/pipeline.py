@@ -189,7 +189,23 @@ class BuildInvertedDB(PipelineStage):
 
 
 class Search(PipelineStage):
-    """Steps 3-4: greedy MDL merging, basic or partial-update."""
+    """Steps 3-4: greedy MDL merging, basic or partial-update.
+
+    Candidate pairs come from the overlap-driven generator
+    (:mod:`repro.core.pairgen`) by default; ``pair_source="full"``
+    switches to the quadratic reference scan — same merge sequence and
+    DL bits, only slower.  The perf harness uses this to measure the
+    sparse-aware speedup on identical pipelines.
+    """
+
+    def __init__(self, pair_source: str = "overlap") -> None:
+        from repro.core.pairgen import PAIR_SOURCES
+
+        if pair_source not in PAIR_SOURCES:
+            raise MiningError(
+                f"pair_source must be one of {PAIR_SOURCES}, got {pair_source!r}"
+            )
+        self.pair_source = pair_source
 
     def run(self, context: PipelineContext) -> None:
         config = context.config
@@ -208,6 +224,7 @@ class Search(PipelineStage):
                 include_model_cost=config.include_model_cost,
                 max_iterations=config.max_iterations,
                 initial_dl_bits=initial_bits,
+                pair_source=self.pair_source,
             )
         else:
             context.trace = run_partial(
@@ -218,6 +235,7 @@ class Search(PipelineStage):
                 max_iterations=config.max_iterations,
                 update_scope=config.partial_update_scope,
                 initial_dl_bits=initial_bits,
+                pair_source=self.pair_source,
             )
         context.final_dl = description_length(
             context.inverted_db, context.standard_table, context.core_table

@@ -2,6 +2,7 @@
 
 from repro.core.candidates import (
     CandidateQueue,
+    LeafsetInterner,
     canonical_pair,
     enumerate_pairs,
     leafset_sort_key,
@@ -11,6 +12,49 @@ from repro.core.candidates import (
 
 def fs(*values):
     return frozenset(values)
+
+
+class TestLeafsetInterner:
+    def test_ids_are_stable_first_sight(self):
+        interner = LeafsetInterner()
+        assert interner.intern(fs("b")) == 0
+        assert interner.intern(fs("a")) == 1
+        assert interner.intern(fs("b")) == 0  # unchanged on re-intern
+        assert interner.leafset_of(1) == fs("a")
+        assert len(interner) == 2 and fs("a") in interner
+
+    def test_canonical_pair_follows_ids_not_repr(self):
+        interner = LeafsetInterner()
+        interner.intern_all([fs("z"), fs("a")])
+        # z was seen first, so it sorts first regardless of repr order.
+        assert interner.canonical_pair(fs("a"), fs("z")) == (fs("z"), fs("a"))
+        assert interner.pair_key((fs("z"), fs("a"))) == (0, 1)
+
+    def test_order_sorts_by_id(self):
+        interner = LeafsetInterner()
+        interner.intern_all([fs("c"), fs("a"), fs("b")])
+        assert interner.order([fs("b"), fs("a"), fs("c")]) == [
+            fs("c"),
+            fs("a"),
+            fs("b"),
+        ]
+
+    def test_copy_is_independent(self):
+        interner = LeafsetInterner()
+        interner.intern(fs("a"))
+        clone = interner.copy()
+        clone.intern(fs("b"))
+        assert fs("b") in clone and fs("b") not in interner
+
+    def test_scoped_ordering_no_module_state(self):
+        # Two registries assign ids independently: ordering state is
+        # per-database, not leaked through a module-level cache.
+        first = LeafsetInterner()
+        second = LeafsetInterner()
+        first.intern_all([fs("a"), fs("b")])
+        second.intern_all([fs("b"), fs("a")])
+        assert first.sort_key(fs("a")) == 0
+        assert second.sort_key(fs("a")) == 1
 
 
 class TestOrdering:
@@ -86,3 +130,24 @@ class TestCandidateQueue:
         assert queue.pop() is None
         assert queue.peek() is None
         assert len(queue) == 0
+
+    def test_interner_tiebreak_follows_ids(self):
+        interner = LeafsetInterner()
+        interner.intern_all([fs("z"), fs("a"), fs("m")])
+        queue = CandidateQueue(interner)
+        first = interner.canonical_pair(fs("z"), fs("m"))
+        second = interner.canonical_pair(fs("a"), fs("m"))
+        queue.set(second, 1.0)
+        queue.set(first, 1.0)
+        pair, _gain = queue.pop()
+        assert pair == first  # (0, 2) beats (1, 2) on equal gain
+
+    def test_peak_size_tracks_high_water_mark(self):
+        queue = CandidateQueue()
+        queue.set(canonical_pair(fs("a"), fs("b")), 1.0)
+        queue.set(canonical_pair(fs("a"), fs("c")), 2.0)
+        queue.pop()
+        queue.pop()
+        queue.set(canonical_pair(fs("b"), fs("c")), 3.0)
+        assert len(queue) == 1
+        assert queue.peak_size == 2

@@ -145,10 +145,25 @@ class TestInstrumentation:
         assert ratios
         assert all(0.0 <= ratio <= 1.0 for ratio in ratios)
 
-    def test_basic_ratio_is_one(self, paper_graph):
+    def test_basic_full_scan_ratio_is_one(self, paper_graph):
+        db, standard, core = setup(paper_graph)
+        trace = run_basic(db, standard, core, pair_source="full")
+        assert all(t.update_ratio == 1.0 for t in trace.iterations)
+
+    def test_basic_overlap_scan_never_exceeds_full(self, paper_graph):
+        # Overlap-driven generation touches at most all possible pairs.
         db, standard, core = setup(paper_graph)
         trace = run_basic(db, standard, core)
-        assert all(t.update_ratio == 1.0 for t in trace.iterations)
+        assert all(t.gains_computed <= t.possible_pairs for t in trace.iterations)
+        assert all(0.0 < t.update_ratio <= 1.0 for t in trace.iterations)
+
+    def test_partial_records_peak_queue_size(self):
+        graph = random_graph(4)
+        db, standard, core = setup(graph)
+        trace = run_partial(db, standard, core)
+        assert trace.peak_queue_size >= 1
+        basic_trace = run_basic(*setup(graph))
+        assert basic_trace.peak_queue_size == 0  # no queue in basic
 
     def test_compression_ratio_below_one(self):
         graph = random_graph(8)

@@ -126,6 +126,22 @@ class TestGainEngine:
         assert breakdown.data_core_gain == 0.0
         assert breakdown.data_leaf_gain != 0.0
 
+    def test_xlogx_table_is_lazy_and_exact(self, paper_db, paper_tables):
+        from repro.core.mdl import xlog2x
+
+        standard, core = paper_tables
+        engine = GainEngine(paper_db, standard, core)
+        # No eager allocation proportional to total frequency.
+        assert len(engine._xlogx) == 2
+        for x in (1, 2, 3, 7, 100, 101):
+            assert engine._xl(x) == pytest.approx(xlog2x(x), abs=1e-12)
+        # Grown geometrically, bounded by what was actually requested.
+        size = len(engine._xlogx)
+        assert 101 < size <= 2 * 102
+        # Re-reads hit the table without growing it further.
+        engine._xl(100)
+        assert len(engine._xlogx) == size
+
     def test_net_respects_model_cost_flag(self, paper_db, paper_tables):
         standard, core = paper_tables
         breakdown = pair_gain(paper_db, fs("b"), fs("c"), standard, core)

@@ -1,0 +1,172 @@
+"""Tests for the perf-benchmark subsystem (``repro.perf.suite``).
+
+The full suite is exercised by CI's perf-smoke job; here we cover the
+building blocks on tiny inputs: measurement of one workload size, the
+document shape, the counter-bound checker, and workload determinism.
+"""
+
+import json
+
+import pytest
+
+from repro.perf.suite import (
+    _measure_size,
+    check_bounds,
+    sparse_scaling_graph,
+    summarize,
+)
+
+
+@pytest.fixture(scope="module")
+def tiny_entry():
+    graph = sparse_scaling_graph(3)
+    return _measure_size(graph, "communities=3", run_basic_too=True)
+
+
+class TestMeasureSize:
+    def test_runs_all_variants(self, tiny_entry):
+        assert set(tiny_entry["runs"]) == {
+            "partial/overlap",
+            "partial/full",
+            "basic/overlap",
+            "basic/full",
+        }
+
+    def test_counters_present_and_consistent(self, tiny_entry):
+        for run in tiny_entry["runs"].values():
+            assert run["wall_seconds"] >= 0.0
+            assert run["initial_candidate_gains"] >= 0
+            assert run["total_gain_computations"] >= run["initial_candidate_gains"]
+        # Peak queue size only exists for the partial variants.
+        assert tiny_entry["runs"]["partial/overlap"]["peak_queue_size"] >= 1
+        assert tiny_entry["runs"]["basic/overlap"]["peak_queue_size"] == 0
+
+    def test_bit_exactness_across_sources(self, tiny_entry):
+        runs = tiny_entry["runs"]
+        assert (
+            runs["partial/overlap"]["final_dl_bits"]
+            == runs["partial/full"]["final_dl_bits"]
+        )
+        assert (
+            runs["basic/overlap"]["final_dl_bits"]
+            == runs["basic/full"]["final_dl_bits"]
+        )
+
+    def test_overlap_seeding_never_costlier(self, tiny_entry):
+        runs = tiny_entry["runs"]
+        assert (
+            runs["partial/overlap"]["initial_candidate_gains"]
+            <= runs["partial/full"]["initial_candidate_gains"]
+        )
+        assert tiny_entry["seeding_gain_reduction"] >= 1.0
+
+    def test_entry_is_json_serialisable(self, tiny_entry):
+        restored = json.loads(json.dumps(tiny_entry))
+        assert restored["label"] == "communities=3"
+
+    def test_summary_renders(self, tiny_entry):
+        document = {
+            "workloads": [
+                {"workload": "sparse-scaling", "series": [tiny_entry]}
+            ]
+        }
+        text = summarize(document)
+        assert "sparse-scaling" in text and "communities=3" in text
+
+
+class TestAcceptance:
+    def test_sparse_seeding_gains_cut_at_least_5x(self):
+        # The PR's headline counter criterion on the sparse Fig. 5
+        # style workload: overlap-driven generation evaluates >=5x
+        # fewer gains at seeding than the full scan, bit-exactly.
+        from repro.core.cspm_partial import run_partial
+        from repro.perf.suite import _prepare
+
+        db0, standard, core, bits = _prepare(sparse_scaling_graph(24))
+        overlap = run_partial(
+            db0.copy(), standard, core, initial_dl_bits=bits, pair_source="overlap"
+        )
+        full = run_partial(
+            db0.copy(), standard, core, initial_dl_bits=bits, pair_source="full"
+        )
+        assert overlap.initial_candidate_gains * 5 <= full.initial_candidate_gains
+        assert overlap.final_dl_bits == full.final_dl_bits
+
+
+class TestSparseScalingGraph:
+    def test_deterministic(self):
+        first = sparse_scaling_graph(3)
+        second = sparse_scaling_graph(3)
+        assert first.num_vertices == second.num_vertices
+        assert sorted(first.edges()) == sorted(second.edges())
+
+    def test_scales_value_universe(self):
+        small = sparse_scaling_graph(2)
+        large = sparse_scaling_graph(4)
+        assert len(large.attribute_values()) > len(small.attribute_values())
+
+
+class TestCheckBounds:
+    def document(self, seed_gains=100, reduction=8.0, total=500):
+        return {
+            "workloads": [
+                {
+                    "workload": "sparse-scaling",
+                    "series": [
+                        {
+                            "label": "communities=48",
+                            "seeding_gain_reduction": reduction,
+                            "runs": {
+                                "partial/overlap": {
+                                    "initial_candidate_gains": seed_gains,
+                                    "total_gain_computations": total,
+                                }
+                            },
+                        }
+                    ],
+                }
+            ]
+        }
+
+    def test_passes_within_bounds(self):
+        bounds = {
+            "__comment": "ignored",
+            "sparse-scaling": {
+                "communities=48": {
+                    "max_initial_candidate_gains": 150,
+                    "min_seeding_gain_reduction": 5.0,
+                    "max_total_gain_computations": 600,
+                }
+            },
+        }
+        assert check_bounds(self.document(), bounds) == []
+
+    def test_flags_each_regression(self):
+        bounds = {
+            "sparse-scaling": {
+                "communities=48": {
+                    "max_initial_candidate_gains": 50,
+                    "min_seeding_gain_reduction": 10.0,
+                    "max_total_gain_computations": 400,
+                }
+            }
+        }
+        failures = check_bounds(self.document(), bounds)
+        assert len(failures) == 3
+        assert any("initial_candidate_gains" in f for f in failures)
+
+    def test_missing_workload_or_series_reported(self):
+        bounds = {
+            "nope": {"x": {"max_initial_candidate_gains": 1}},
+            "sparse-scaling": {"communities=99": {}},
+        }
+        failures = check_bounds(self.document(), bounds)
+        assert len(failures) == 2
+
+    def test_repo_bounds_file_is_wellformed(self):
+        from pathlib import Path
+
+        path = Path(__file__).parents[1] / "benchmarks" / "perf_bounds.json"
+        bounds = json.loads(path.read_text())
+        constrained = [k for k in bounds if not k.startswith("__")]
+        assert constrained == ["sparse-scaling"]
