@@ -25,6 +25,10 @@ if __name__ == "__main__":
         from repro.perf.suite import main
 
     argv = sys.argv[1:]
-    if not any(arg == "--out" or arg.startswith("--out=") for arg in argv):
+    if not any(
+        arg in ("--out", "--output")
+        or arg.startswith(("--out=", "--output="))
+        for arg in argv
+    ):
         argv = ["--out", str(REPO_ROOT / "BENCH_cspm.json")] + argv
     sys.exit(main(argv))

@@ -75,7 +75,7 @@ from repro.errors import (
 from repro.graphs.attributed_graph import AttributedGraph
 from repro.pipeline import MiningPipeline, PipelineContext, PipelineStage
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "AStar",

@@ -44,7 +44,10 @@ def _add_mine(subparsers) -> None:
         "--scope",
         choices=UPDATE_SCOPES,
         default="exhaustive",
-        help="partial-update scope (Algorithm 4)",
+        help="partial-update scope (Algorithm 4).  The CLI default "
+        "stays 'exhaustive' — the mine --json golden output pins it — "
+        "while the library default is 'lazy' (same mined model, fewer "
+        "gain evaluations)",
     )
     parser.add_argument(
         "--top",
@@ -97,26 +100,18 @@ def _add_alarms(subparsers) -> None:
 
 
 def _add_bench(subparsers) -> None:
+    from repro.perf.suite import add_bench_arguments
+
     parser = subparsers.add_parser(
         "bench",
         help="run the perf suite and write BENCH_cspm.json",
         description="Measure overlap-driven vs full-scan candidate "
-        "generation on the Fig. 5 / Table III synthetic workloads "
-        "(see repro.perf.suite).",
+        "generation and the lazy-refresh counters on the Fig. 5 / "
+        "Table III synthetic workloads (see repro.perf.suite).  With "
+        "--workload, only the named families are re-measured and the "
+        "rest of an existing output document is preserved.",
     )
-    parser.add_argument(
-        "--quick", action="store_true", help="smaller sizes (CI configuration)"
-    )
-    parser.add_argument(
-        "--out", default="BENCH_cspm.json", help="output path (default: cwd)"
-    )
-    parser.add_argument("--seed", type=int, default=0)
-    parser.add_argument(
-        "--check",
-        default=None,
-        metavar="BOUNDS_JSON",
-        help="assert counter bounds; exit 1 on regression",
-    )
+    add_bench_arguments(parser)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -226,27 +221,9 @@ def _command_alarms(args) -> int:
 
 
 def _command_bench(args) -> int:
-    import json
+    from repro.perf.suite import execute
 
-    from repro.perf.suite import check_bounds, run_suite, summarize
-
-    document = run_suite(quick=args.quick, seed=args.seed, log=print)
-    with open(args.out, "w") as handle:
-        json.dump(document, handle, indent=2)
-        handle.write("\n")
-    print(f"\nwrote {args.out}")
-    print(summarize(document))
-    if args.check:
-        with open(args.check) as handle:
-            bounds = json.load(handle)
-        failures = check_bounds(document, bounds)
-        if failures:
-            print("\nPERF REGRESSION:", file=sys.stderr)
-            for failure in failures:
-                print(f"  {failure}", file=sys.stderr)
-            return 1
-        print(f"\ncounter bounds OK ({args.check})")
-    return 0
+    return execute(args)
 
 
 _COMMANDS = {

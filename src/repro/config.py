@@ -27,7 +27,7 @@ from repro.errors import ConfigError
 
 METHODS: Tuple[str, ...] = ("partial", "basic")
 ENCODERS: Tuple[str, ...] = ("singleton", "slim", "krimp")
-UPDATE_SCOPES: Tuple[str, ...] = ("exhaustive", "related")
+UPDATE_SCOPES: Tuple[str, ...] = ("lazy", "exhaustive", "related")
 
 
 @dataclass(frozen=True)
@@ -52,10 +52,13 @@ class CSPMConfig:
         Optional safety cap on the number of merges (``None`` = run to
         convergence, as the paper does).
     partial_update_scope:
-        For ``method="partial"``: ``"exhaustive"`` (default; guarantees
-        the same merges as CSPM-Basic while updating only an affected
-        neighbourhood) or ``"related"`` (the paper's Algorithm 4 rdict
-        heuristic, cheapest but may miss late candidates).
+        For ``method="partial"``: ``"lazy"`` (default; same merges as
+        CSPM-Basic, with stored gains kept as sound upper bounds and
+        revalidated only when a dirty pair reaches the queue head),
+        ``"exhaustive"`` (eager neighbourhood refresh after every
+        merge, also exactly CSPM-Basic's model) or ``"related"`` (the
+        paper's Algorithm 4 rdict heuristic, cheapest but may miss
+        late candidates).
     top_k:
         Post-filter: keep only the ``top_k`` best-ranked a-stars in the
         result (``None`` = keep all).  Applied by the RankAndFilter
@@ -70,7 +73,7 @@ class CSPMConfig:
     coreset_encoder: str = "singleton"
     include_model_cost: bool = True
     max_iterations: Optional[int] = None
-    partial_update_scope: str = "exhaustive"
+    partial_update_scope: str = "lazy"
     top_k: Optional[int] = None
     min_leafset: int = 1
 

@@ -143,19 +143,27 @@ def enumerate_pairs(
 
 
 class CandidateQueue:
-    """Max-gain priority queue with lazy deletion.
+    """Max-gain priority queue with lazy deletion and entry payloads.
 
     Entries are ``(-gain, tiebreak, version, pair)`` in a binary heap;
-    a side table maps each pair to its current gain and version so
-    stale heap entries are skipped on pop.  With an ``interner`` the
-    tiebreak is an ``(id, id)`` integer tuple; without one it falls
-    back to repr-based keys.  ``peak_size`` records the high-water mark
-    of live candidates (read by the perf harness).
+    a side table maps each pair to its current gain, version and an
+    opaque payload so stale heap entries are skipped on pop.  With an
+    ``interner`` the tiebreak is an ``(id, id)`` integer tuple; without
+    one it falls back to repr-based keys.
+
+    The payload carries whatever the caller needs to revalidate an
+    entry lazily — CSPM-Partial's lazy scope stores the full gain
+    breakdown plus the merge epoch it was computed at, so a pair that
+    reaches the queue head with no common coreset touched since then is
+    merged without recomputing anything (its stored gain is exact), and
+    every other entry remains a sound upper bound until it surfaces.
+    ``peak_size`` records the high-water mark of live candidates (read
+    by the perf harness).
     """
 
     def __init__(self, interner: Optional[LeafsetInterner] = None) -> None:
         self._heap: List[Tuple[float, Tuple, int, Pair]] = []
-        self._current: Dict[Pair, Tuple[float, int]] = {}
+        self._current: Dict[Pair, Tuple[float, int, object]] = {}
         self._version = 0
         self._pair_key = interner.pair_key if interner is not None else pair_sort_key
         self.peak_size = 0
@@ -170,13 +178,18 @@ class CandidateQueue:
         entry = self._current.get(pair)
         return entry[0] if entry else None
 
+    def payload_of(self, pair: Pair) -> object:
+        """The payload stored with ``pair`` (``None`` if absent)."""
+        entry = self._current.get(pair)
+        return entry[2] if entry else None
+
     def pairs(self) -> List[Pair]:
         return list(self._current)
 
-    def set(self, pair: Pair, gain: float) -> None:
-        """Insert ``pair`` or update its gain."""
+    def set(self, pair: Pair, gain: float, payload: object = None) -> None:
+        """Insert ``pair`` or update its gain (and payload)."""
         self._version += 1
-        self._current[pair] = (gain, self._version)
+        self._current[pair] = (gain, self._version, payload)
         heapq.heappush(self._heap, (-gain, self._pair_key(pair), self._version, pair))
         if len(self._current) > self.peak_size:
             self.peak_size = len(self._current)
@@ -195,12 +208,19 @@ class CandidateQueue:
 
     def pop(self) -> Optional[Tuple[Pair, float]]:
         """Remove and return the best live candidate, or ``None``."""
+        entry = self.pop_entry()
+        if entry is None:
+            return None
+        return entry[0], entry[1]
+
+    def pop_entry(self) -> Optional[Tuple[Pair, float, object]]:
+        """Like :meth:`pop` but also returns the entry's payload."""
         self._drop_stale()
         if not self._heap:
             return None
         neg_gain, _key, _version, pair = heapq.heappop(self._heap)
-        del self._current[pair]
-        return pair, -neg_gain
+        payload = self._current.pop(pair)[2]
+        return pair, -neg_gain, payload
 
     def _drop_stale(self) -> None:
         while self._heap:

@@ -75,6 +75,7 @@ def run_basic(
             break
         db.merge(*best_pair)
         dl -= best_breakdown.total
+        trace.record_merge_components(best_breakdown)
         iteration += 1
         trace.iterations.append(
             IterationTrace(

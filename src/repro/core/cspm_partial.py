@@ -10,7 +10,42 @@ can have positive gain; ``pair_source="full"`` restores the seed's
 quadratic scan (both enumerate in interned-id order, so the resulting
 queue — and hence the merge sequence — is identical).
 
-Two update scopes are provided:
+Three update scopes are provided:
+
+``lazy`` (default used by the facade)
+    Pushes the exhaustive scope's partial-update idea one level
+    further by exploiting two monotonicity facts:
+
+    * a pair's gain is a sum of per-coreset terms over its common
+      coresets, so a stored gain is *exact* until some common coreset
+      is touched by a later merge — per-coreset merge epochs
+      (:meth:`~repro.core.inverted_db.InvertedDatabase.core_epoch`)
+      make that staleness O(1) per coreset to detect.  A clean pair
+      reaching the queue head is merged straight from its stored
+      breakdown, skipping the revalidation gain computation entirely;
+      merges elsewhere can only *lower* a stored gain (the coreset
+      frequency ``fe`` shrinks), so stale stored gains remain sound
+      upper bounds and revalidation happens only when a dirty pair
+      actually surfaces at the head.
+    * a gain can *rise* only for pairs involving a merge participant
+      (their rows changed) or pairs whose union's code-table entry
+      just materialised, and every gain term requires a non-empty
+      positional intersection — so a participant pair whose positions
+      are disjoint from the rows the merge touched is provably
+      unchanged and its refresh is skipped with one mask AND.
+
+    The result is the same merge sequence (and bit-identical DL
+    accounting) as ``exhaustive`` — the equivalence suite asserts it —
+    with far fewer gain evaluations.
+
+``exhaustive``
+    After a merge, the survivors and the new leafset are re-evaluated
+    against *all* leafsets sharing a coreset with them (only such pairs
+    can ever gain — the Section V observation), plus the pairs whose
+    union equals the new leafset (their model cost just dropped).  This
+    provably keeps the queue a superset of all positive-gain pairs, so
+    the search selects exactly the same merges as CSPM-Basic while
+    still touching only an affected neighbourhood per iteration.
 
 ``related`` (the paper's Algorithm 4, literally)
     ``rdict`` maps each leafset to the leafsets it currently forms a
@@ -22,23 +57,11 @@ Two update scopes are provided:
     survivor that was not a candidate before), so its final model may
     differ slightly from CSPM-Basic's.
 
-``exhaustive`` (default used by the facade)
-    After a merge, the survivors and the new leafset are re-evaluated
-    against *all* leafsets sharing a coreset with them (only such pairs
-    can ever gain — the Section V observation), plus the pairs whose
-    union equals the new leafset (their model cost just dropped).  This
-    provably keeps the queue a superset of all positive-gain pairs, so
-    the search selects exactly the same merges as CSPM-Basic while
-    still touching only an affected neighbourhood per iteration.
-
-Both scopes revalidate lazily on pop: merges elsewhere can only lower
-a stored gain (the coreset frequency ``fe`` shrinks), so the fresh gain
-is recomputed and the pair is either merged, pushed back, or dropped.
-
-All canonical ordering (pair orientation, queue tie-breaks, refresh
-iteration order) runs on the database's
-:class:`~repro.core.candidates.LeafsetInterner` — integer comparisons
-instead of the seed's repr-string keys.
+The ``exhaustive`` and ``related`` scopes revalidate every popped pair;
+``lazy`` only the dirty ones.  All canonical ordering (pair
+orientation, queue tie-breaks, refresh iteration order) runs on the
+database's :class:`~repro.core.candidates.LeafsetInterner` — integer
+comparisons instead of the seed's repr-string keys.
 """
 
 from __future__ import annotations
@@ -56,7 +79,7 @@ from repro.errors import MiningError
 
 LeafKey = FrozenSet[Hashable]
 GAIN_EPS = 1e-9
-UPDATE_SCOPES = ("exhaustive", "related")
+UPDATE_SCOPES = ("lazy", "exhaustive", "related")
 
 
 class _PartialState:
@@ -67,8 +90,10 @@ class _PartialState:
         self.queue = CandidateQueue(interner)
         self.rdict: Dict[LeafKey, Set[LeafKey]] = {}
 
-    def add_candidate(self, leaf_x: LeafKey, leaf_y: LeafKey, gain: float) -> None:
-        self.queue.set(self.interner.canonical_pair(leaf_x, leaf_y), gain)
+    def add_candidate(
+        self, leaf_x: LeafKey, leaf_y: LeafKey, gain: float, payload=None
+    ) -> None:
+        self.queue.set(self.interner.canonical_pair(leaf_x, leaf_y), gain, payload)
         self.rdict.setdefault(leaf_x, set()).add(leaf_y)
         self.rdict.setdefault(leaf_y, set()).add(leaf_x)
 
@@ -100,7 +125,7 @@ def run_partial(
     core_table: CoreCodeTable,
     include_model_cost: bool = True,
     max_iterations: Optional[int] = None,
-    update_scope: str = "exhaustive",
+    update_scope: str = "lazy",
     initial_dl_bits: Optional[float] = None,
     pair_source: str = "overlap",
 ) -> RunTrace:
@@ -116,6 +141,7 @@ def run_partial(
     trace.initial_dl_bits = dl
     engine = GainEngine(db, standard_table, core_table)
     interner = db.interner
+    lazy = update_scope == "lazy"
 
     def net_gain(leaf_x: LeafKey, leaf_y: LeafKey):
         breakdown = engine.gain(leaf_x, leaf_y)
@@ -123,43 +149,68 @@ def run_partial(
 
     state = _PartialState(interner)
     initial_gains = 0
+    seed_epoch = db.merge_epoch
     for leaf_x, leaf_y in generate_pairs(db, pair_source):
-        _breakdown, gain = net_gain(leaf_x, leaf_y)
+        breakdown, gain = net_gain(leaf_x, leaf_y)
         initial_gains += 1
         if gain > GAIN_EPS:
-            state.add_candidate(leaf_x, leaf_y, gain)
+            state.add_candidate(
+                leaf_x,
+                leaf_y,
+                gain,
+                payload=(breakdown, seed_epoch) if lazy else None,
+            )
     trace.initial_candidate_gains = initial_gains
 
     iteration = 0
     pending_gains = 0
     while max_iterations is None or iteration < max_iterations:
-        popped = state.queue.pop()
+        popped = state.queue.pop_entry()
         if popped is None:
             break
-        (leaf_x, leaf_y), _stored_gain = popped
-        breakdown, gain = net_gain(leaf_x, leaf_y)
-        pending_gains += 1
-        if gain <= GAIN_EPS:
-            state.drop_candidate(leaf_x, leaf_y)
-            continue
-        # Revalidation: merge the popped pair only while it is still the
-        # exact maximum under the queue's (gain, pair-key) order.  Stored
-        # gains are upper bounds (merges elsewhere only shrink ``fe``),
-        # so if the fresh gain fell below the next stored gain — or ties
-        # it with a larger pair key — push the fresh value back and let
-        # the true maximum surface.  The strict comparison (no epsilon
-        # slack) is what keeps the exhaustive scope's merge sequence
-        # identical to CSPM-Basic's even when two candidates tie.
-        next_best = state.queue.peek()
-        if next_best is not None:
-            next_pair, next_gain = next_best
-            pair = interner.canonical_pair(leaf_x, leaf_y)
-            if gain < next_gain or (
-                gain == next_gain
-                and interner.pair_key(pair) > interner.pair_key(next_pair)
-            ):
-                state.queue.set(pair, gain)
+        (leaf_x, leaf_y), stored_gain, payload = popped
+        if (
+            lazy
+            and payload is not None
+            and not engine.stale_since(leaf_x, leaf_y, payload[1])
+        ):
+            # Clean head: no common coreset was merged since this gain
+            # was computed, so the stored breakdown is *exact* — and
+            # every other entry is at most its stored (upper-bound)
+            # gain, so the head is the true maximum.  Merge directly.
+            breakdown = payload[0]
+            gain = stored_gain
+            trace.refreshes_skipped += 1
+        else:
+            breakdown, gain = net_gain(leaf_x, leaf_y)
+            pending_gains += 1
+            if lazy:
+                trace.dirty_revalidations += 1
+            if gain <= GAIN_EPS:
+                state.drop_candidate(leaf_x, leaf_y)
                 continue
+            # Revalidation: merge the popped pair only while it is still the
+            # exact maximum under the queue's (gain, pair-key) order.  Stored
+            # gains are upper bounds (merges elsewhere only shrink ``fe``),
+            # so if the fresh gain fell below the next stored gain — or ties
+            # it with a larger pair key — push the fresh value back and let
+            # the true maximum surface.  The strict comparison (no epsilon
+            # slack) is what keeps the exhaustive and lazy scopes' merge
+            # sequence identical to CSPM-Basic's even when candidates tie.
+            next_best = state.queue.peek()
+            if next_best is not None:
+                next_pair, next_gain = next_best
+                pair = interner.canonical_pair(leaf_x, leaf_y)
+                if gain < next_gain or (
+                    gain == next_gain
+                    and interner.pair_key(pair) > interner.pair_key(next_pair)
+                ):
+                    state.queue.set(
+                        pair,
+                        gain,
+                        (breakdown, db.merge_epoch) if lazy else None,
+                    )
+                    continue
 
         num_leafsets = len(db.leafsets())
         possible = num_leafsets * (num_leafsets - 1) // 2
@@ -167,6 +218,7 @@ def run_partial(
         related_y = state.related(leaf_y)
         outcome = db.merge(leaf_x, leaf_y)
         dl -= breakdown.total
+        trace.record_merge_components(breakdown)
         iteration += 1
         state.unlink(leaf_x, leaf_y)
         state.unlink(leaf_y, leaf_x)
@@ -179,8 +231,10 @@ def run_partial(
             gains_computed += _update_related(
                 db, state, outcome, related_x, related_y, net_gain
             )
-        else:
+        elif update_scope == "exhaustive":
             gains_computed += _update_exhaustive(db, state, outcome, net_gain)
+        else:
+            gains_computed += _update_lazy(db, state, outcome, net_gain, trace)
 
         trace.iterations.append(
             IterationTrace(
@@ -236,6 +290,38 @@ def _update_related(
     return gains
 
 
+def _refresh_pool(db: InvertedDatabase, outcome: MergeOutcome):
+    """The merge's focus leafsets and touched-coreset neighbourhood."""
+    focus = set(outcome.partly_merged_leafsets)
+    if db.has_leafset(outcome.new_leafset):
+        focus.add(outcome.new_leafset)
+    rel_pool: Set[LeafKey] = set()
+    for core in outcome.touched_coresets:
+        rel_pool |= db.leafsets_of(core)
+    return focus, rel_pool
+
+
+def _subset_union_pairs(
+    interner: LeafsetInterner, rel_pool: Set[LeafKey], focus, new_leaf: LeafKey
+):
+    """Pairs of strict subsets of ``new_leaf`` whose union equals it.
+
+    The union's code-table entry now exists, so their model cost
+    dropped and their gain may have turned positive.  The pool is
+    bounded to the touched-coreset neighbourhood: the model term only
+    changes under a common coreset where the ``new_leaf`` row appeared
+    — a touched coreset — so both endpoints of an affected pair must
+    live under one.
+    """
+    subsets = interner.order(
+        leaf for leaf in rel_pool if leaf < new_leaf and leaf not in focus
+    )
+    for i, leaf in enumerate(subsets):
+        for rel in subsets[i + 1 :]:
+            if (leaf | rel) == new_leaf:
+                yield leaf, rel
+
+
 def _update_exhaustive(
     db: InvertedDatabase,
     state: _PartialState,
@@ -257,12 +343,7 @@ def _update_exhaustive(
     gains = 0
     interner = state.interner
     new_leaf = outcome.new_leafset
-    focus = set(outcome.partly_merged_leafsets)
-    if db.has_leafset(new_leaf):
-        focus.add(new_leaf)
-    rel_pool: set = set()
-    for core in outcome.touched_coresets:
-        rel_pool |= db.leafsets_of(core)
+    focus, rel_pool = _refresh_pool(db, outcome)
     rel_ordered = interner.order(rel_pool)
     refreshed = set()
     for leaf in interner.order(focus):
@@ -281,28 +362,101 @@ def _update_exhaustive(
                 state.add_candidate(leaf, rel, gain)
             elif pair in state.queue:
                 state.drop_candidate(leaf, rel)
-    # Pairs of strict subsets whose union is exactly the new leafset:
-    # the union's code-table entry now exists, so their model cost
-    # dropped and their gain may have turned positive.
     if db.has_leafset(new_leaf):
-        subsets = [
-            leaf
-            for leaf in db.leafsets()
-            if leaf < new_leaf and leaf not in focus
-        ]
-        subsets = interner.order(subsets)
-        for i, leaf in enumerate(subsets):
-            for rel in subsets[i + 1 :]:
-                if (leaf | rel) != new_leaf:
-                    continue
-                pair = interner.canonical_pair(leaf, rel)
-                if pair in refreshed:
-                    continue
-                refreshed.add(pair)
-                _breakdown, gain = net_gain(leaf, rel)
-                gains += 1
-                if gain > GAIN_EPS:
-                    state.add_candidate(leaf, rel, gain)
-                else:
+        for leaf, rel in _subset_union_pairs(interner, rel_pool, focus, new_leaf):
+            pair = interner.canonical_pair(leaf, rel)
+            if pair in refreshed:
+                continue
+            refreshed.add(pair)
+            _breakdown, gain = net_gain(leaf, rel)
+            gains += 1
+            if gain > GAIN_EPS:
+                state.add_candidate(leaf, rel, gain)
+            else:
+                state.drop_candidate(leaf, rel)
+    return gains
+
+
+def _update_lazy(
+    db: InvertedDatabase,
+    state: _PartialState,
+    outcome: MergeOutcome,
+    net_gain,
+    trace: RunTrace,
+) -> int:
+    """The bound-driven refresh: recompute only pairs that can rise.
+
+    Walks the same neighbourhood as :func:`_update_exhaustive` but
+    skips, with two mask ANDs, the pairs whose gain provably did not
+    change for the better:
+
+    * current union masks disjoint — every per-coreset intersection is
+      empty, the gain is exactly zero; a queued entry is dropped.
+    * the related leafset's positions are disjoint from the rows the
+      merge touched (:attr:`MergeOutcome.touched_row_unions`) — every
+      gain term that existed before the merge still has the same
+      per-coreset state, so the gain is unchanged; a queued entry keeps
+      its stored value (still a sound upper bound from its own
+      validation epoch), an absent pair stays provably non-positive.
+
+    Pairs not involving a merge participant are never refreshed at all:
+    their gain can only fall (only ``fe`` shrank), so their stored
+    gains remain upper bounds and the queue-head revalidation in
+    :func:`run_partial` settles them if they ever surface.  Returns the
+    number of gain computations; skips are counted on ``trace``.
+    """
+    gains = 0
+    interner = state.interner
+    new_leaf = outcome.new_leafset
+    epoch = db.merge_epoch
+    union_of = db.leaf_union_mask
+    touched_unions = outcome.touched_row_unions
+    focus, rel_pool = _refresh_pool(db, outcome)
+    rel_ordered = interner.order(rel_pool)
+    queue = state.queue
+    refreshed = set()
+    for leaf in interner.order(focus):
+        if not db.has_leafset(leaf):
+            continue
+        touched_mask = touched_unions.get(leaf, 0)
+        leaf_union = union_of(leaf)
+        for rel in rel_ordered:
+            if rel == leaf or not db.has_leafset(rel):
+                continue
+            pair = interner.canonical_pair(leaf, rel)
+            if pair in refreshed:
+                continue
+            refreshed.add(pair)
+            rel_union = union_of(rel)
+            if not (leaf_union & rel_union):
+                if pair in queue:
                     state.drop_candidate(leaf, rel)
+                trace.refreshes_skipped += 1
+                continue
+            if not (touched_mask & rel_union):
+                trace.refreshes_skipped += 1
+                continue
+            breakdown, gain = net_gain(leaf, rel)
+            gains += 1
+            if gain > GAIN_EPS:
+                state.add_candidate(leaf, rel, gain, payload=(breakdown, epoch))
+            elif pair in queue:
+                state.drop_candidate(leaf, rel)
+    if db.has_leafset(new_leaf):
+        for leaf, rel in _subset_union_pairs(interner, rel_pool, focus, new_leaf):
+            pair = interner.canonical_pair(leaf, rel)
+            if pair in refreshed:
+                continue
+            refreshed.add(pair)
+            if not (union_of(leaf) & union_of(rel)):
+                if pair in queue:
+                    state.drop_candidate(leaf, rel)
+                trace.refreshes_skipped += 1
+                continue
+            breakdown, gain = net_gain(leaf, rel)
+            gains += 1
+            if gain > GAIN_EPS:
+                state.add_candidate(leaf, rel, gain, payload=(breakdown, epoch))
+            elif pair in queue:
+                state.drop_candidate(leaf, rel)
     return gains

@@ -26,13 +26,18 @@ standard code table) while fully-merged rows disappear.  This is the
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import FrozenSet, Hashable, Optional
+from math import log2
+from typing import FrozenSet, Hashable, List, Optional, Sequence
 
 from repro.core.code_table import CoreCodeTable, StandardCodeTable
 from repro.core.inverted_db import InvertedDatabase
 from repro.core.mdl import xlog2x
 
 LeafKey = FrozenSet[Hashable]
+
+# Interned leafset ids are packed into a single cache key; 2^32 leafsets
+# is far beyond anything a big-int-mask database can hold.
+_PAIR_SHIFT = 32
 
 
 @dataclass(frozen=True)
@@ -78,16 +83,26 @@ class GainEngine:
     Semantically identical to :func:`pair_gain` (tests assert this) but
     avoids per-call overhead: ``x*log2(x)`` values are served from a
     lazily-grown lookup table, leafset standard-code costs and coreset
-    pointer lengths are cached, and the inner loop reads the database's
-    row dictionaries directly.
+    pointer lengths are cached, row frequencies come from the database's
+    incrementally-maintained popcount index (one big-int ``bit_count``
+    per common coreset instead of three), and each pair's common-coreset
+    list is memoised.
 
-    The table grows geometrically on demand, so it ends up sized to the
-    largest coreset frequency actually encountered (every Eq. 10-15
-    argument is bounded by some ``fe``) rather than the database's total
-    frequency — tiny graphs in ``fit_many`` batches no longer each
-    allocate a table proportional to ``total_frequency()``.  Arguments
-    beyond ``_XLOGX_CAP`` fall back to direct computation instead of
-    materialising an extreme-scale table.
+    The common-coreset cache is keyed by the packed interned pair id and
+    validated by the two leafsets' merge epochs: a leafset's coreset
+    membership changes only in merges it participates in, so two epoch
+    comparisons decide reuse.  Arguments are canonicalised to interned-id
+    order before any arithmetic, making the returned floats independent
+    of call orientation — CSPM-Partial's lazy scope relies on this to
+    reuse stored breakdowns bit-for-bit.
+
+    The xlogx table grows geometrically on demand, so it ends up sized
+    to the largest coreset frequency actually encountered (every
+    Eq. 10-15 argument is bounded by some ``fe``) rather than the
+    database's total frequency — tiny graphs in ``fit_many`` batches no
+    longer each allocate a table proportional to ``total_frequency()``.
+    Arguments beyond ``_XLOGX_CAP`` fall back to direct computation
+    instead of materialising an extreme-scale table.
     """
 
     _XLOGX_CAP = 4_000_000
@@ -104,6 +119,8 @@ class GainEngine:
         self._leaf_cost = {}
         self._pointer = {}
         self._xlogx = [0.0, 0.0]
+        # packed pair id -> (common coresets, leaf_epoch_x, leaf_epoch_y)
+        self._pair_cores: dict = {}
 
     def _xl(self, x: int) -> float:
         table = self._xlogx
@@ -111,12 +128,67 @@ class GainEngine:
             return table[x]
         if x > self._XLOGX_CAP:  # pragma: no cover - guard for extreme scales
             return xlog2x(x)
-        import math as _math
-
-        log2 = _math.log2
-        new_size = min(max(x + 1, 2 * len(table)), self._XLOGX_CAP + 1)
-        table.extend(i * log2(i) for i in range(len(table), new_size))
+        size = len(table)
+        new_size = min(max(x + 1, 2 * size), self._XLOGX_CAP + 1)
+        table.extend(i * log2(i) for i in range(size, new_size))
         return table[x]
+
+    def common_cores(
+        self, leaf_x: LeafKey, leaf_y: LeafKey, id_x: int, id_y: int
+    ) -> Sequence:
+        """The pair's common coresets, memoised (``id_x <= id_y``).
+
+        The cached list preserves the iteration order of the smaller
+        coreset set at build time, so repeated evaluations sum the gain
+        terms in the same order and return identical floats.
+        """
+        key = (id_x << _PAIR_SHIFT) | id_y
+        db = self.db
+        epoch_x = db.leaf_epoch(leaf_x)
+        epoch_y = db.leaf_epoch(leaf_y)
+        cached = self._pair_cores.get(key)
+        if cached is not None and cached[1] == epoch_x and cached[2] == epoch_y:
+            return cached[0]
+        cores_x = db._leaf_to_cores.get(leaf_x)
+        cores_y = db._leaf_to_cores.get(leaf_y)
+        if not cores_x or not cores_y:
+            common: List = []
+        else:
+            if len(cores_x) > len(cores_y):
+                cores_x, cores_y = cores_y, cores_x
+            common = [core for core in cores_x if core in cores_y]
+        self._pair_cores[key] = (common, epoch_x, epoch_y)
+        return common
+
+    def stale_since(
+        self, leaf_x: LeafKey, leaf_y: LeafKey, validated_at: int
+    ) -> bool:
+        """Whether the pair's gain may have changed after ``validated_at``.
+
+        Every gain term is a function of per-coreset state (row masks,
+        frequencies, row existence) over the pair's common coresets, so
+        the stored value is exact while no common coreset's merge epoch
+        passed the validation point.  Endpoint participation in a later
+        merge is checked first — O(1), and it also re-validates the
+        cached common-coreset list.
+        """
+        db = self.db
+        if (
+            db.leaf_epoch(leaf_x) > validated_at
+            or db.leaf_epoch(leaf_y) > validated_at
+        ):
+            return True
+        interner = db.interner
+        id_x = interner.intern(leaf_x)
+        id_y = interner.intern(leaf_y)
+        if id_x > id_y:
+            leaf_x, leaf_y = leaf_y, leaf_x
+            id_x, id_y = id_y, id_x
+        core_epoch = db._core_epoch
+        for core in self.common_cores(leaf_x, leaf_y, id_x, id_y):
+            if core_epoch.get(core, 0) > validated_at:
+                return True
+        return False
 
     def leaf_cost(self, leaf: LeafKey) -> float:
         cost = self._leaf_cost.get(leaf)
@@ -133,21 +205,30 @@ class GainEngine:
         return length
 
     def gain(self, leaf_x: LeafKey, leaf_y: LeafKey) -> GainBreakdown:
-        """The :class:`GainBreakdown` of merging the two leafsets."""
+        """The :class:`GainBreakdown` of merging the two leafsets.
+
+        Symmetric up to float identity: the arguments are canonicalised
+        to interned-id order, so ``gain(x, y)`` and ``gain(y, x)``
+        return the exact same floats.
+        """
         db = self.db
         # Prefilter: if the leafsets' position unions are disjoint, no
         # coreset can have a non-empty intersection and the gain is 0.
         union = db._leaf_union
         if not (union.get(leaf_x, 0) & union.get(leaf_y, 0)):
             return ZERO_GAIN
+        interner = db.interner
+        id_x = interner.intern(leaf_x)
+        id_y = interner.intern(leaf_y)
+        if id_x > id_y:
+            leaf_x, leaf_y = leaf_y, leaf_x
+            id_x, id_y = id_y, id_x
+        common = self.common_cores(leaf_x, leaf_y, id_x, id_y)
+        if not common:
+            return ZERO_GAIN
         rows = db._rows
         freq = db._core_freq
-        cores_x = db._leaf_to_cores.get(leaf_x)
-        cores_y = db._leaf_to_cores.get(leaf_y)
-        if not cores_x or not cores_y:
-            return ZERO_GAIN
-        if len(cores_x) > len(cores_y):
-            cores_x, cores_y = cores_y, cores_x
+        row_freq = db._row_freq
         new_leaf = leaf_x | leaf_y
         price_model = self.standard_table is not None
         new_leaf_cost = self.leaf_cost(new_leaf) if price_model else 0.0
@@ -156,17 +237,15 @@ class GainEngine:
         p2 = 0.0
         model_gain = 0.0
         data_core_gain = 0.0
-        for core in cores_x:
-            if core not in cores_y:
-                continue
+        for core in common:
             bits_x = rows[(core, leaf_x)]
             bits_y = rows[(core, leaf_y)]
             inter = bits_x & bits_y
             if not inter:
                 continue
             xye = inter.bit_count()
-            xe = bits_x.bit_count()
-            ye = bits_y.bit_count()
+            xe = row_freq[(core, leaf_x)]
+            ye = row_freq[(core, leaf_y)]
             fe = freq[core]
             p1 += xl(fe) - xl(fe - xye)
             p2 += xl(xe) + xl(ye) - (xl(xe - xye) + xl(ye - xye) + xl(xye))

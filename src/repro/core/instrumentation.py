@@ -7,11 +7,12 @@ pairs at that point — exactly the quantity plotted in the paper's
 Fig. 5.
 
 On top of the serialised trace, :class:`RunTrace` carries process-local
-perf counters (``peak_queue_size``) read by the perf harness
-(``repro.perf.suite``).  They are deliberately *not* part of the
-serialised schema: the ``mine --json`` golden file pins schema v1
-byte-for-byte, and the counters describe the run's machinery, not its
-mined output.
+perf counters (``peak_queue_size``, ``refreshes_skipped``,
+``dirty_revalidations``) and the incremental DL component sums read by
+the perf harness (``repro.perf.suite``) and the pipeline.  They are
+deliberately *not* part of the serialised schema: the ``mine --json``
+golden file pins schema v1 byte-for-byte, and the counters describe the
+run's machinery, not its mined output.
 """
 
 from __future__ import annotations
@@ -95,6 +96,26 @@ class RunTrace:
     iterations: List[IterationTrace] = field(default_factory=list)
     # Process-local perf counters (not serialised; see module docstring).
     peak_queue_size: int = 0
+    # Lazy-refresh counters (zero for every other update scope):
+    # ``refreshes_skipped`` counts gain evaluations avoided — clean
+    # queue-head pops merged from their stored breakdown plus post-merge
+    # refreshes proven unnecessary by the union-mask tests;
+    # ``dirty_revalidations`` counts queue-head pops that had to
+    # recompute because a common coreset was merged since validation.
+    refreshes_skipped: int = 0
+    dirty_revalidations: int = 0
+    # Incremental DL component sums (bits saved per component over all
+    # accepted merges), from which the pipeline derives the final
+    # description length without a full recompute pass.
+    data_leaf_gain_bits: float = 0.0
+    model_gain_bits: float = 0.0
+    data_core_gain_bits: float = 0.0
+
+    def record_merge_components(self, breakdown) -> None:
+        """Accumulate a merged pair's :class:`~repro.core.gain.GainBreakdown`."""
+        self.data_leaf_gain_bits += breakdown.data_leaf_gain
+        self.model_gain_bits += breakdown.model_gain
+        self.data_core_gain_bits += breakdown.data_core_gain
 
     @property
     def num_iterations(self) -> int:

@@ -78,13 +78,24 @@ class CoresetMergeStats:
 
 @dataclass
 class MergeOutcome:
-    """What a merge did: the new leafset, and per-coreset bookkeeping."""
+    """What a merge did: the new leafset, and per-coreset bookkeeping.
+
+    ``touched_row_unions`` maps each participating leafset (the two
+    merged leafsets and the merged result) to the union bitmask of its
+    rows under the *touched* coresets — for the survivors the pre-merge
+    rows, for the new leafset the post-merge rows (which contain the
+    pre-merge ones).  A third leafset's gain against a participant can
+    only have changed if its positions intersect this mask (every gain
+    term requires a non-empty per-coreset intersection), which is what
+    lets the lazy refresh skip provably-unchanged pairs with one AND.
+    """
 
     leaf_x: LeafKey
     leaf_y: LeafKey
     new_leafset: LeafKey
     stats: List[CoresetMergeStats] = field(default_factory=list)
     removed_leafsets: Set[LeafKey] = field(default_factory=set)
+    touched_row_unions: Dict[LeafKey, int] = field(default_factory=dict)
 
     @property
     def touched_coresets(self) -> List[CoreKey]:
@@ -125,6 +136,19 @@ class InvertedDatabase:
         # generation enumerates.  Maintained incrementally: a merge
         # touches only its common coresets, so only those lists change.
         self._core_leaf_ids: Dict[CoreKey, List[int]] = {}
+        # Row popcounts, maintained incrementally so gain evaluation
+        # reads an int instead of re-counting big-int masks.
+        self._row_freq: Dict[RowKey, int] = {}
+        # Merge epochs.  ``_merge_index`` counts merges; a coreset's
+        # epoch is the index of the last merge that changed its rows or
+        # frequency, a leafset's epoch the index of the last merge it
+        # participated in (as a source or as the merged result).  A
+        # stored gain for a pair is stale exactly when some common
+        # coreset's epoch passed the gain's validation point — the O(1)
+        # per-coreset lookups behind CSPM-Partial's lazy refresh.
+        self._merge_index: int = 0
+        self._core_epoch: Dict[CoreKey, int] = {}
+        self._leaf_epoch: Dict[LeafKey, int] = {}
 
     # ------------------------------------------------------------------
     # Construction
@@ -193,12 +217,14 @@ class InvertedDatabase:
         current = self._rows.get(key)
         if current is None:
             self._rows[key] = mask
+            self._row_freq[key] = 1
             self._leaf_to_cores.setdefault(leaf, set()).add(core)
             self._core_to_leaves.setdefault(core, set()).add(leaf)
             self._core_freq[core] = self._core_freq.get(core, 0) + 1
             self._leaf_union[leaf] = self._leaf_union.get(leaf, 0) | mask
         elif not (current & mask):
             self._rows[key] = current | mask
+            self._row_freq[key] += 1
             self._core_freq[core] += 1
             self._leaf_union[leaf] |= mask
 
@@ -230,13 +256,32 @@ class InvertedDatabase:
 
     def row_items(self) -> Iterator[Tuple[CoreKey, LeafKey, int]]:
         """Iterate ``(coreset, leafset, frequency)`` without decoding."""
-        for (core, leaf), bits in self._rows.items():
-            yield core, leaf, bits.bit_count()
+        for key, frequency in self._row_freq.items():
+            yield key[0], key[1], frequency
 
     @property
     def interner(self) -> LeafsetInterner:
         """The database's leafset-id registry (ordering authority)."""
         return self._interner
+
+    @property
+    def merge_epoch(self) -> int:
+        """The number of merges performed so far (the current epoch)."""
+        return self._merge_index
+
+    def core_epoch(self, core: CoreKey) -> int:
+        """Epoch of the last merge that touched ``core`` (0 = never)."""
+        return self._core_epoch.get(core, 0)
+
+    def leaf_epoch(self, leaf: LeafKey) -> int:
+        """Epoch of the last merge ``leaf`` participated in (0 = never).
+
+        A leafset's rows — and hence its coreset membership — change
+        only in merges it participates in, so this single int validates
+        any per-leafset derived data (e.g. the gain engine's cached
+        common-coreset lists).
+        """
+        return self._leaf_epoch.get(leaf, 0)
 
     def leafsets(self) -> List[LeafKey]:
         """All distinct leafsets currently present."""
@@ -290,7 +335,7 @@ class InvertedDatabase:
 
     def row_frequency(self, core: CoreKey, leaf: LeafKey) -> int:
         """``fL`` of the row (0 if the row does not exist)."""
-        return self._rows.get((core, leaf), 0).bit_count()
+        return self._row_freq.get((core, leaf), 0)
 
     def coreset_frequency(self, core: CoreKey) -> int:
         """``fc``: total row frequency of ``core`` (== sum_i l_ic)."""
@@ -355,7 +400,13 @@ class InvertedDatabase:
         # so first-sight ids stay deterministic too.
         new_id = self._interner.intern(new_leaf)
         intern = self._interner.intern
+        self._merge_index += 1
+        epoch = self._merge_index
         outcome = MergeOutcome(leaf_x=leaf_x, leaf_y=leaf_y, new_leafset=new_leaf)
+        union_x = 0
+        union_y = 0
+        union_new = 0
+        row_freq = self._row_freq
         for core in sorted(self.common_coresets(leaf_x, leaf_y), key=_key_of):
             px = self._rows[(core, leaf_x)]
             py = self._rows[(core, leaf_y)]
@@ -365,17 +416,22 @@ class InvertedDatabase:
                 CoresetMergeStats(
                     coreset=core,
                     fe=self._core_freq[core],
-                    xe=px.bit_count(),
-                    ye=py.bit_count(),
+                    xe=row_freq[(core, leaf_x)],
+                    ye=row_freq[(core, leaf_y)],
                     xye=count,
                 )
             )
             if not count:
                 continue
+            self._core_epoch[core] = epoch
+            union_x |= px
+            union_y |= py
             target_key = (core, new_leaf)
             target = self._rows.get(target_key)
             if target is None:
                 self._rows[target_key] = inter
+                row_freq[target_key] = count
+                union_new |= inter
                 self._leaf_to_cores.setdefault(new_leaf, set()).add(core)
                 self._core_to_leaves.setdefault(core, set()).add(new_leaf)
                 insort(self._core_leaf_ids[core], new_id)
@@ -383,13 +439,17 @@ class InvertedDatabase:
                 # Disjointness holds because per (coreset, vertex) each
                 # leaf value is covered by exactly one row.
                 self._rows[target_key] = target | inter
+                row_freq[target_key] += count
+                union_new |= target | inter
             # Each merged position replaces two row usages by one.
             self._core_freq[core] -= count
             for leaf, remaining in ((leaf_x, px & ~inter), (leaf_y, py & ~inter)):
                 if remaining:
                     self._rows[(core, leaf)] = remaining
+                    row_freq[(core, leaf)] -= count
                 else:
                     del self._rows[(core, leaf)]
+                    del row_freq[(core, leaf)]
                     self._core_to_leaves[core].discard(leaf)
                     self._core_leaf_ids[core].remove(intern(leaf))
                     if not self._core_to_leaves[core]:
@@ -401,6 +461,15 @@ class InvertedDatabase:
                         del self._leaf_to_cores[leaf]
                         del self._leaf_union[leaf]
                         outcome.removed_leafsets.add(leaf)
+        if union_x or union_y:
+            outcome.touched_row_unions = {
+                leaf_x: union_x,
+                leaf_y: union_y,
+                new_leaf: union_new,
+            }
+            self._leaf_epoch[leaf_x] = epoch
+            self._leaf_epoch[leaf_y] = epoch
+            self._leaf_epoch[new_leaf] = epoch
         # Refresh the union masks of the leafsets the merge touched.
         for leaf in (leaf_x, leaf_y, new_leaf):
             cores = self._leaf_to_cores.get(leaf)
@@ -432,7 +501,11 @@ class InvertedDatabase:
                 raise MiningError(f"empty row {(core, leaf)}")
             if core not in self._leaf_to_cores.get(leaf, ()):
                 raise MiningError(f"index out of sync for row {(core, leaf)}")
+            if self._row_freq.get((core, leaf)) != bits.bit_count():
+                raise MiningError(f"stale row frequency for {(core, leaf)}")
             recomputed[core] = recomputed.get(core, 0) + bits.bit_count()
+        if set(self._row_freq) != set(self._rows):
+            raise MiningError("row frequency index out of sync with rows")
         active = {c: f for c, f in self._core_freq.items() if f > 0}
         if recomputed != active:
             raise MiningError("coreset frequencies out of sync with rows")
@@ -516,6 +589,10 @@ class InvertedDatabase:
         db._core_leaf_ids = {
             core: list(ids) for core, ids in self._core_leaf_ids.items()
         }
+        db._row_freq = dict(self._row_freq)
+        db._merge_index = self._merge_index
+        db._core_epoch = dict(self._core_epoch)
+        db._leaf_epoch = dict(self._leaf_epoch)
         return db
 
     def __repr__(self) -> str:

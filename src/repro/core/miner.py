@@ -8,7 +8,10 @@
    transactions — Section IV-F, step 1);
 2. build the inverted database (step 2);
 3. greedily merge leafsets by MDL gain (steps 3-4), with either the
-   basic or the partial-update search;
+   basic or the partial-update search — the latter defaulting to the
+   lazy bound-driven refresh scope (``update_scope="lazy"``), which
+   mines the exact same model as CSPM-Basic while revalidating stored
+   gains only when a dirty candidate reaches the queue head;
 4. return the surviving a-stars ranked by ascending code length.
 
 The facade is configuration-driven: ``CSPM(config=CSPMConfig(...))``

@@ -22,7 +22,7 @@ from repro.core.astar import AStar
 from repro.core.code_table import CoreCodeTable, StandardCodeTable
 from repro.core.instrumentation import RunTrace
 from repro.core.inverted_db import InvertedDatabase
-from repro.core.mdl import DescriptionLength
+from repro.core.mdl import DescriptionLength, description_length
 
 Value = Hashable
 
@@ -40,16 +40,66 @@ class CSPMResult:
     rebuilt via :meth:`from_dict` (it is deliberately not serialised).
     ``config`` records the :class:`~repro.config.CSPMConfig` that
     produced the run, when known.
+
+    ``final_dl`` may be constructed as ``None``: the pipeline hands the
+    incremental end-of-run total over in the trace
+    (:attr:`final_dl_bits`) and defers the *component* breakdown — whose
+    serialised floats must be accumulation-order-independent, i.e. come
+    from a sorted from-scratch pass — until something actually reads it.
+    The first access recomputes it from the live database (falling back
+    to the trace's incremental component sums when the database is
+    gone) and caches it, so mining no longer pays a full
+    ``description_length`` pass per run.
     """
 
     astars: List[AStar]
     trace: RunTrace
     initial_dl: DescriptionLength
-    final_dl: DescriptionLength
+    final_dl: Optional[DescriptionLength]
     standard_table: StandardCodeTable
     core_table: CoreCodeTable
     inverted_db: Optional[InvertedDatabase] = field(default=None, repr=False)
     config: Optional[CSPMConfig] = None
+
+    def __post_init__(self) -> None:
+        # A None final_dl means "compute on demand": remove the
+        # instance attribute so lookups fall through to __getattr__
+        # (which only ever fires for missing attributes — no per-access
+        # overhead on any other field).
+        if self.__dict__.get("final_dl") is None:
+            self.__dict__.pop("final_dl", None)
+
+    def __getattr__(self, name):
+        if name == "final_dl":
+            value = self._compute_final_dl()
+            self.__dict__["final_dl"] = value
+            return value
+        raise AttributeError(
+            f"{type(self).__name__!r} object has no attribute {name!r}"
+        )
+
+    def _compute_final_dl(self) -> DescriptionLength:
+        if self.inverted_db is not None:
+            return description_length(
+                self.inverted_db, self.standard_table, self.core_table
+            )
+        trace = self.trace
+        initial = self.initial_dl
+        return DescriptionLength(
+            model_core_bits=initial.model_core_bits,
+            model_leaf_bits=initial.model_leaf_bits - trace.model_gain_bits,
+            data_leaf_bits=initial.data_leaf_bits - trace.data_leaf_gain_bits,
+            data_core_bits=initial.data_core_bits - trace.data_core_gain_bits,
+        )
+
+    @property
+    def final_dl_bits(self) -> float:
+        """End-of-run total DL, tracked incrementally by the search.
+
+        Equal to ``final_dl.total_bits`` up to float accumulation order;
+        reading it never triggers the deferred component recompute.
+        """
+        return self.trace.final_dl_bits
 
     def __len__(self) -> int:
         return len(self.astars)
@@ -62,7 +112,7 @@ class CSPMResult:
             f"<CSPMResult: {len(self.astars)} a-stars, "
             f"{self.trace.num_iterations} merges, "
             f"DL {self.initial_dl.total_bits:.1f} -> "
-            f"{self.final_dl.total_bits:.1f} bits "
+            f"{self.final_dl_bits:.1f} bits "
             f"(ratio {self.compression_ratio:.3f})>"
         )
 
@@ -105,11 +155,11 @@ class CSPMResult:
 
     @property
     def compression_ratio(self) -> float:
-        """Final over initial total description length."""
+        """Final over initial total description length (incremental)."""
         initial = self.initial_dl.total_bits
         if initial <= 0:
             return 1.0
-        return self.final_dl.total_bits / initial
+        return self.final_dl_bits / initial
 
     def summary(self) -> str:
         """A short human-readable report of the run."""
@@ -117,7 +167,7 @@ class CSPMResult:
             f"CSPM ({self.trace.algorithm}): {len(self.astars)} a-stars, "
             f"{self.trace.num_iterations} merges",
             f"  DL: {self.initial_dl.total_bits:.1f} -> "
-            f"{self.final_dl.total_bits:.1f} bits "
+            f"{self.final_dl_bits:.1f} bits "
             f"(ratio {self.compression_ratio:.3f})",
             f"  gain computations: {self.trace.total_gain_computations}",
         ]

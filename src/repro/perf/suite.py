@@ -27,16 +27,24 @@ Workloads
 
 Every run records wall-clock and the trace counters
 (``initial_candidate_gains``, ``total_gain_computations``,
-``peak_queue_size``, iterations, final DL bits).  Counters are
+``peak_queue_size``, and — schema v2 — the lazy-refresh counters
+``refreshes_skipped``/``dirty_revalidations``, plus iterations and
+final DL bits).  ``partial`` runs use the library default update scope
+(``lazy``), recorded in the run's ``update_scope`` field.  Counters are
 structural — determined by the graph, not the machine — so CI asserts
 regressions on them (``--check benchmarks/perf_bounds.json``) instead
 of on flaky wall-clock thresholds; wall-clock is recorded for the
 human-readable trajectory.
 
-Output document (``BENCH_cspm.json``, schema v1)::
+A single workload family can be re-measured without discarding the
+rest of an existing document: ``--workload <name>`` (repeatable)
+restricts the run, and when the output file already exists its other
+workload entries are carried over unchanged (see :func:`merge_into`).
+
+Output document (``BENCH_cspm.json``, schema v2)::
 
     {
-      "schema_version": 1,
+      "schema_version": 2,
       "suite": "cspm-perf",
       "quick": bool,
       "workloads": [
@@ -54,6 +62,9 @@ Output document (``BENCH_cspm.json``, schema v1)::
                   "initial_candidate_gains": int,
                   "total_gain_computations": int,
                   "peak_queue_size": int,
+                  "refreshes_skipped": int,
+                  "dirty_revalidations": int,
+                  "update_scope": "lazy",         # partial runs only
                   "iterations": int,
                   "final_dl_bits": float
                 },
@@ -85,7 +96,9 @@ from repro.datasets.synthetic import community_attributed_graph
 from repro.graphs.attributed_graph import AttributedGraph
 from repro.pipeline import BuildInvertedDB, EncodeCoresets, PipelineContext
 
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
+
+WORKLOAD_NAMES = ("sparse-scaling", "dblp", "dblp-trend", "usflight")
 
 # The sparse community family: disjoint 6-value pools, 25 vertices per
 # community, light cross-community wiring.  Scaling the community count
@@ -142,14 +155,21 @@ def _run_case(
         db, standard, core, initial_dl_bits=initial_bits, pair_source=pair_source
     )
     wall = time.perf_counter() - start
-    return {
+    entry = {
         "wall_seconds": round(wall, 6),
         "initial_candidate_gains": trace.initial_candidate_gains,
         "total_gain_computations": trace.total_gain_computations,
         "peak_queue_size": trace.peak_queue_size,
+        "refreshes_skipped": trace.refreshes_skipped,
+        "dirty_revalidations": trace.dirty_revalidations,
         "iterations": trace.num_iterations,
         "final_dl_bits": trace.final_dl_bits,
     }
+    if algorithm != "basic":
+        # run_partial's default scope — the algorithm string is
+        # "cspm-partial/<scope>".
+        entry["update_scope"] = trace.algorithm.rsplit("/", 1)[-1]
+    return entry
 
 
 def _measure_size(
@@ -196,8 +216,23 @@ def run_suite(
     quick: bool = False,
     seed: int = 0,
     log=None,
+    only: Optional[Sequence[str]] = None,
 ) -> Dict[str, Any]:
-    """Run every workload and return the ``BENCH_cspm.json`` document."""
+    """Run the workloads and return the ``BENCH_cspm.json`` document.
+
+    ``only`` restricts the run to the named workload families (see
+    ``WORKLOAD_NAMES``); unknown names raise ``ValueError`` so CLI
+    typos fail loudly instead of silently measuring nothing.
+    """
+    if only:
+        unknown = sorted(set(only) - set(WORKLOAD_NAMES))
+        if unknown:
+            raise ValueError(
+                f"unknown workload(s) {unknown}; available: {list(WORKLOAD_NAMES)}"
+            )
+
+    def wanted(name: str) -> bool:
+        return not only or name in only
 
     def say(message: str) -> None:
         if log is not None:
@@ -205,28 +240,31 @@ def run_suite(
 
     workloads: List[Dict[str, Any]] = []
 
-    sizes = SPARSE_SIZES_QUICK if quick else SPARSE_SIZES_FULL
-    series = []
-    for num_communities in sizes:
-        say(f"sparse-scaling: communities={num_communities} ...")
-        graph = sparse_scaling_graph(num_communities, seed=seed)
-        series.append(
-            _measure_size(
-                graph, f"communities={num_communities}", run_basic_too=True
+    if wanted("sparse-scaling"):
+        sizes = SPARSE_SIZES_QUICK if quick else SPARSE_SIZES_FULL
+        series = []
+        for num_communities in sizes:
+            say(f"sparse-scaling: communities={num_communities} ...")
+            graph = sparse_scaling_graph(num_communities, seed=seed)
+            series.append(
+                _measure_size(
+                    graph, f"communities={num_communities}", run_basic_too=True
+                )
             )
+        workloads.append(
+            {
+                "workload": "sparse-scaling",
+                "kind": "synthetic-community",
+                "pool_size": SPARSE_POOL_SIZE,
+                "community_size": SPARSE_COMMUNITY_SIZE,
+                "series": series,
+            }
         )
-    workloads.append(
-        {
-            "workload": "sparse-scaling",
-            "kind": "synthetic-community",
-            "pool_size": SPARSE_POOL_SIZE,
-            "community_size": SPARSE_COMMUNITY_SIZE,
-            "series": series,
-        }
-    )
 
     scale = DATASET_SCALE_QUICK if quick else DATASET_SCALE_FULL
     for name in ("dblp", "dblp-trend", "usflight"):
+        if not wanted(name):
+            continue
         say(f"dataset analogue: {name} (scale={scale}) ...")
         graph = load_dataset(name, scale=scale, seed=seed)
         workloads.append(
@@ -249,12 +287,33 @@ def run_suite(
     }
 
 
+def merge_into(
+    existing: Dict[str, Any], fresh: Dict[str, Any]
+) -> Dict[str, Any]:
+    """Merge a (possibly filtered) fresh run into an existing document.
+
+    Workload entries present in ``fresh`` replace the same-named entries
+    of ``existing`` in place; entries only in ``existing`` are kept (in
+    their original order) so re-measuring one family does not discard
+    the rest of ``BENCH_cspm.json``.  Top-level metadata comes from the
+    fresh run.
+    """
+    fresh_by_name = {w["workload"]: w for w in fresh["workloads"]}
+    merged: List[Dict[str, Any]] = []
+    for workload in existing.get("workloads", []):
+        merged.append(fresh_by_name.pop(workload["workload"], workload))
+    merged.extend(fresh_by_name.values())
+    document = dict(fresh)
+    document["workloads"] = merged
+    return document
+
+
 def summarize(document: Dict[str, Any]) -> str:
     """A human-readable table of the measured trajectory."""
     lines = [
         f"{'workload':<16}{'size':<16}{'|SL|':>6}{'pairs':>9}"
         f"{'seed red.':>10}{'partial x':>10}{'basic x':>9}"
-        f"{'partial s':>10}{'peak Q':>8}"
+        f"{'partial s':>10}{'peak Q':>8}{'skipped':>9}{'dirty':>7}"
     ]
     lines.append("-" * len(lines[0]))
     for workload in document["workloads"]:
@@ -269,6 +328,8 @@ def summarize(document: Dict[str, Any]) -> str:
                 f"{basic_speedup if basic_speedup is not None else float('nan'):>9.2f}"
                 f"{partial['wall_seconds']:>10.3f}"
                 f"{partial['peak_queue_size']:>8}"
+                f"{partial.get('refreshes_skipped', 0):>9}"
+                f"{partial.get('dirty_revalidations', 0):>7}"
             )
     return "\n".join(lines)
 
@@ -287,6 +348,11 @@ def check_bounds(
         Lower bound on full/overlap seeding gains.
     ``max_total_gain_computations``
         Upper bound on the overlap run's total gain evaluations.
+    ``min_refreshes_skipped``
+        Lower bound on the lazy scope's skipped refreshes (structural:
+        drops to zero if the bound-driven refresh stops deferring).
+    ``max_dirty_revalidations``
+        Upper bound on the lazy scope's queue-head revalidations.
     """
     failures: List[str] = []
     by_name = {w["workload"]: w for w in document["workloads"]}
@@ -324,14 +390,23 @@ def check_bounds(
                     f"{workload_name}/{label}: total_gain_computations "
                     f"{overlap['total_gain_computations']} > bound {limit}"
                 )
+            floor = constraints.get("min_refreshes_skipped")
+            if floor is not None and overlap.get("refreshes_skipped", 0) < floor:
+                failures.append(
+                    f"{workload_name}/{label}: refreshes_skipped "
+                    f"{overlap.get('refreshes_skipped', 0)} < bound {floor}"
+                )
+            limit = constraints.get("max_dirty_revalidations")
+            if limit is not None and overlap.get("dirty_revalidations", 0) > limit:
+                failures.append(
+                    f"{workload_name}/{label}: dirty_revalidations "
+                    f"{overlap.get('dirty_revalidations', 0)} > bound {limit}"
+                )
     return failures
 
 
-def main(argv: Optional[Sequence[str]] = None) -> int:
-    parser = argparse.ArgumentParser(
-        prog="perf_suite",
-        description="CSPM perf suite: emit the BENCH_cspm.json trajectory",
-    )
+def add_bench_arguments(parser: argparse.ArgumentParser) -> None:
+    """The benchmark flags, shared by ``repro bench`` and the script."""
     parser.add_argument(
         "--quick",
         action="store_true",
@@ -339,19 +414,42 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     )
     parser.add_argument(
         "--out",
+        "--output",
+        dest="out",
         default="BENCH_cspm.json",
         help="output path (default: BENCH_cspm.json in the cwd)",
     )
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--workload",
+        action="append",
+        dest="workloads",
+        default=None,
+        metavar="NAME",
+        choices=WORKLOAD_NAMES,
+        help="measure only this workload family (repeatable); existing "
+        "entries of the output file for other families are kept",
+    )
     parser.add_argument(
         "--check",
         default=None,
         metavar="BOUNDS_JSON",
         help="assert counter bounds from this file; exit 1 on regression",
     )
-    args = parser.parse_args(argv)
 
-    document = run_suite(quick=args.quick, seed=args.seed, log=print)
+
+def execute(args) -> int:
+    """Run the suite per parsed ``args`` (see :func:`add_bench_arguments`)."""
+    fresh = run_suite(
+        quick=args.quick, seed=args.seed, log=print, only=args.workloads
+    )
+    document = fresh
+    if args.workloads:
+        try:
+            with open(args.out) as handle:
+                document = merge_into(json.load(handle), fresh)
+        except (FileNotFoundError, json.JSONDecodeError):
+            pass
     with open(args.out, "w") as handle:
         json.dump(document, handle, indent=2, sort_keys=False)
         handle.write("\n")
@@ -361,7 +459,17 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.check:
         with open(args.check) as handle:
             bounds = json.load(handle)
-        failures = check_bounds(document, bounds)
+        if args.workloads:
+            # Only gate what this invocation actually measured:
+            # carried-over entries may predate the current schema (or
+            # the current code), and failing on them would blame a
+            # family that was never re-run.
+            bounds = {
+                name: constraints
+                for name, constraints in bounds.items()
+                if name.startswith("__") or name in args.workloads
+            }
+        failures = check_bounds(fresh, bounds)
         if failures:
             print("\nPERF REGRESSION:", file=sys.stderr)
             for failure in failures:
@@ -369,6 +477,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return 1
         print(f"\ncounter bounds OK ({args.check})")
     return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="perf_suite",
+        description="CSPM perf suite: emit the BENCH_cspm.json trajectory",
+    )
+    add_bench_arguments(parser)
+    return execute(parser.parse_args(argv))
 
 
 if __name__ == "__main__":

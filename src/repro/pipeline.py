@@ -196,6 +196,16 @@ class Search(PipelineStage):
     switches to the quadratic reference scan — same merge sequence and
     DL bits, only slower.  The perf harness uses this to measure the
     sparse-aware speedup on identical pipelines.
+
+    The end-of-run description length is *incremental*: the searches
+    accumulate ``initial_dl_bits - sum(breakdown.total)`` (and the
+    per-component sums) in the trace, so this stage no longer runs a
+    full ``description_length`` pass — which on small ``fit_many``
+    graphs used to cost more than the whole partial search.  The
+    component breakdown ``CSPMResult.final_dl`` is recomputed lazily,
+    in sorted order, only when first accessed (e.g. at serialisation,
+    whose floats must be hash-seed- and accumulation-order-independent);
+    tests validate the incremental totals against that recompute.
     """
 
     def __init__(self, pair_source: str = "overlap") -> None:
@@ -237,9 +247,10 @@ class Search(PipelineStage):
                 initial_dl_bits=initial_bits,
                 pair_source=self.pair_source,
             )
-        context.final_dl = description_length(
-            context.inverted_db, context.standard_table, context.core_table
-        )
+        # No final description_length pass here: the incremental total
+        # lives in context.trace.final_dl_bits, and the result computes
+        # the component breakdown lazily on first access.
+        context.final_dl = None
 
 
 class RankAndFilter(PipelineStage):

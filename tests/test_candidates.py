@@ -128,8 +128,34 @@ class TestCandidateQueue:
     def test_empty_queue(self):
         queue = CandidateQueue()
         assert queue.pop() is None
+        assert queue.pop_entry() is None
         assert queue.peek() is None
         assert len(queue) == 0
+
+    def test_payload_travels_with_entry(self):
+        queue = CandidateQueue()
+        pair = canonical_pair(fs("a"), fs("b"))
+        queue.set(pair, 2.0, payload=("breakdown", 7))
+        assert queue.payload_of(pair) == ("breakdown", 7)
+        popped_pair, gain, payload = queue.pop_entry()
+        assert popped_pair == pair and gain == 2.0
+        assert payload == ("breakdown", 7)
+        assert queue.payload_of(pair) is None
+
+    def test_payload_replaced_on_update(self):
+        queue = CandidateQueue()
+        pair = canonical_pair(fs("a"), fs("b"))
+        queue.set(pair, 2.0, payload="old")
+        queue.set(pair, 3.0, payload="new")
+        assert queue.payload_of(pair) == "new"
+        assert queue.pop_entry() == (pair, 3.0, "new")
+
+    def test_payload_defaults_to_none(self):
+        queue = CandidateQueue()
+        pair = canonical_pair(fs("a"), fs("b"))
+        queue.set(pair, 1.0)
+        assert queue.payload_of(pair) is None
+        assert queue.pop_entry() == (pair, 1.0, None)
 
     def test_interner_tiebreak_follows_ids(self):
         interner = LeafsetInterner()

@@ -15,7 +15,7 @@ class TestValidation:
         assert config.coreset_encoder == "singleton"
         assert config.include_model_cost is True
         assert config.max_iterations is None
-        assert config.partial_update_scope == "exhaustive"
+        assert config.partial_update_scope == "lazy"
         assert config.top_k is None
         assert config.min_leafset == 1
 
@@ -96,7 +96,7 @@ class TestFacadeShim:
         assert miner.coreset_encoder == "slim"
         assert miner.include_model_cost is True
         assert miner.max_iterations is None
-        assert miner.partial_update_scope == "exhaustive"
+        assert miner.partial_update_scope == "lazy"
 
     def test_legacy_positional(self):
         assert CSPM("basic").config.method == "basic"

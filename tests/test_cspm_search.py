@@ -78,13 +78,14 @@ class TestBasic:
 
 
 class TestPartial:
+    @pytest.mark.parametrize("scope", ["lazy", "exhaustive"])
     @pytest.mark.parametrize("seed", range(5))
-    def test_exhaustive_matches_basic(self, seed):
+    def test_model_preserving_scopes_match_basic(self, seed, scope):
         graph = random_graph(seed)
         db_b, standard, core = setup(graph)
         trace_b = run_basic(db_b, standard, core)
         db_p, _, _ = setup(graph)
-        trace_p = run_partial(db_p, standard, core, update_scope="exhaustive")
+        trace_p = run_partial(db_p, standard, core, update_scope=scope)
         assert trace_p.final_dl_bits == pytest.approx(
             trace_b.final_dl_bits, abs=1e-6
         )

@@ -10,8 +10,11 @@ import json
 import pytest
 
 from repro.perf.suite import (
+    SCHEMA_VERSION,
     _measure_size,
     check_bounds,
+    merge_into,
+    run_suite,
     sparse_scaling_graph,
     summarize,
 )
@@ -37,9 +40,25 @@ class TestMeasureSize:
             assert run["wall_seconds"] >= 0.0
             assert run["initial_candidate_gains"] >= 0
             assert run["total_gain_computations"] >= run["initial_candidate_gains"]
+            assert run["refreshes_skipped"] >= 0
+            assert run["dirty_revalidations"] >= 0
         # Peak queue size only exists for the partial variants.
         assert tiny_entry["runs"]["partial/overlap"]["peak_queue_size"] >= 1
         assert tiny_entry["runs"]["basic/overlap"]["peak_queue_size"] == 0
+
+    def test_schema_v2_lazy_counters(self, tiny_entry):
+        assert SCHEMA_VERSION == 2
+        partial = tiny_entry["runs"]["partial/overlap"]
+        # Partial runs use (and record) the library default scope, and
+        # the bound-driven refresh skips at least something on any
+        # non-trivial workload.
+        assert partial["update_scope"] == "lazy"
+        assert partial["refreshes_skipped"] > 0
+        # Basic has no queue, so no refreshes to skip or revalidate.
+        basic = tiny_entry["runs"]["basic/overlap"]
+        assert "update_scope" not in basic
+        assert basic["refreshes_skipped"] == 0
+        assert basic["dirty_revalidations"] == 0
 
     def test_bit_exactness_across_sources(self, tiny_entry):
         runs = tiny_entry["runs"]
@@ -93,6 +112,74 @@ class TestAcceptance:
         assert overlap.final_dl_bits == full.final_dl_bits
 
 
+class TestWorkloadFilter:
+    def test_only_restricts_the_run(self):
+        document = run_suite(quick=True, only=["usflight"])
+        assert [w["workload"] for w in document["workloads"]] == ["usflight"]
+        assert document["schema_version"] == SCHEMA_VERSION
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(ValueError, match="unknown workload"):
+            run_suite(quick=True, only=["nope"])
+
+    def test_merge_into_preserves_other_workloads(self):
+        existing = {
+            "schema_version": 1,
+            "workloads": [
+                {"workload": "sparse-scaling", "series": ["old-sparse"]},
+                {"workload": "dblp", "series": ["old-dblp"]},
+            ],
+        }
+        fresh = {
+            "schema_version": SCHEMA_VERSION,
+            "quick": True,
+            "workloads": [{"workload": "dblp", "series": ["new-dblp"]}],
+        }
+        merged = merge_into(existing, fresh)
+        assert merged["schema_version"] == SCHEMA_VERSION
+        assert [w["workload"] for w in merged["workloads"]] == [
+            "sparse-scaling",
+            "dblp",
+        ]
+        assert merged["workloads"][0]["series"] == ["old-sparse"]
+        assert merged["workloads"][1]["series"] == ["new-dblp"]
+
+    def test_merge_into_appends_new_workloads(self):
+        existing = {"workloads": [{"workload": "dblp", "series": []}]}
+        fresh = {
+            "schema_version": SCHEMA_VERSION,
+            "workloads": [
+                {"workload": "dblp", "series": ["new"]},
+                {"workload": "usflight", "series": ["added"]},
+            ],
+        }
+        merged = merge_into(existing, fresh)
+        assert [w["workload"] for w in merged["workloads"]] == [
+            "dblp",
+            "usflight",
+        ]
+
+
+class TestBenchCli:
+    def test_workload_filter_merges_into_existing_output(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out = tmp_path / "bench.json"
+        assert main(["bench", "--quick", "--output", str(out),
+                     "--workload", "usflight"]) == 0
+        first = json.loads(out.read_text())
+        assert [w["workload"] for w in first["workloads"]] == ["usflight"]
+        # Re-measuring another family keeps the usflight entry.
+        assert main(["bench", "--quick", "--output", str(out),
+                     "--workload", "dblp"]) == 0
+        second = json.loads(out.read_text())
+        assert sorted(w["workload"] for w in second["workloads"]) == [
+            "dblp",
+            "usflight",
+        ]
+        capsys.readouterr()
+
+
 class TestSparseScalingGraph:
     def test_deterministic(self):
         first = sparse_scaling_graph(3)
@@ -107,7 +194,9 @@ class TestSparseScalingGraph:
 
 
 class TestCheckBounds:
-    def document(self, seed_gains=100, reduction=8.0, total=500):
+    def document(
+        self, seed_gains=100, reduction=8.0, total=500, skipped=900, dirty=40
+    ):
         return {
             "workloads": [
                 {
@@ -120,6 +209,8 @@ class TestCheckBounds:
                                 "partial/overlap": {
                                     "initial_candidate_gains": seed_gains,
                                     "total_gain_computations": total,
+                                    "refreshes_skipped": skipped,
+                                    "dirty_revalidations": dirty,
                                 }
                             },
                         }
@@ -154,6 +245,31 @@ class TestCheckBounds:
         failures = check_bounds(self.document(), bounds)
         assert len(failures) == 3
         assert any("initial_candidate_gains" in f for f in failures)
+
+    def test_lazy_counter_bounds_flagged(self):
+        bounds = {
+            "sparse-scaling": {
+                "communities=48": {
+                    "min_refreshes_skipped": 1000,
+                    "max_dirty_revalidations": 30,
+                }
+            }
+        }
+        failures = check_bounds(self.document(), bounds)
+        assert len(failures) == 2
+        assert any("refreshes_skipped" in f for f in failures)
+        assert any("dirty_revalidations" in f for f in failures)
+
+    def test_lazy_counter_bounds_pass(self):
+        bounds = {
+            "sparse-scaling": {
+                "communities=48": {
+                    "min_refreshes_skipped": 500,
+                    "max_dirty_revalidations": 50,
+                }
+            }
+        }
+        assert check_bounds(self.document(), bounds) == []
 
     def test_missing_workload_or_series_reported(self):
         bounds = {
