@@ -12,7 +12,11 @@ The package is organised around the paper's pipeline:
 ``repro.core``
     The paper's primary contribution: the inverted database, MDL
     accounting, the CSPM-Basic and CSPM-Partial search procedures, and
-    the a-star scoring module (Algorithm 5).
+    the a-star scoring module (Algorithm 5).  Position masks are
+    pluggable (``repro.core.masks``): whole-graph bigint bitmaps, a
+    sparse chunked representation for paper-scale graphs, or
+    numpy-packed chunks — all mining bit-identical models
+    (``CSPMConfig(mask_backend=...)``, default ``"auto"``).
 ``repro.config`` / ``repro.pipeline`` / ``repro.batch``
     The public API surface: the frozen :class:`CSPMConfig`, the
     composable :class:`MiningPipeline` (encode coresets -> inverted DB
@@ -61,8 +65,9 @@ Quickstart::
 """
 
 from repro.batch import BatchResult, BatchRun, fit_many
-from repro.config import CSPMConfig
+from repro.config import MASK_BACKENDS, CSPMConfig
 from repro.core.astar import AStar
+from repro.core.masks import MaskBackend
 from repro.core.miner import CSPM
 from repro.core.result import CSPMResult
 from repro.core.scoring import AStarScorer
@@ -75,7 +80,7 @@ from repro.errors import (
 from repro.graphs.attributed_graph import AttributedGraph
 from repro.pipeline import MiningPipeline, PipelineContext, PipelineStage
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "AStar",
@@ -88,6 +93,8 @@ __all__ = [
     "CSPMResult",
     "ConfigError",
     "GraphError",
+    "MASK_BACKENDS",
+    "MaskBackend",
     "MiningError",
     "MiningPipeline",
     "PipelineContext",

@@ -23,7 +23,13 @@ import argparse
 import sys
 from typing import List, Optional
 
-from repro.config import ENCODERS, METHODS, UPDATE_SCOPES, CSPMConfig
+from repro.config import (
+    ENCODERS,
+    MASK_BACKENDS,
+    METHODS,
+    UPDATE_SCOPES,
+    CSPMConfig,
+)
 from repro.core.miner import CSPM
 from repro.datasets import available_datasets, load_dataset
 from repro.graphs.io import load_json, save_json
@@ -58,6 +64,15 @@ def _add_mine(subparsers) -> None:
     )
     parser.add_argument(
         "--min-leafset", type=int, default=1, help="minimum leafset size"
+    )
+    parser.add_argument(
+        "--mask-backend",
+        choices=MASK_BACKENDS,
+        default="auto",
+        help="position-mask representation (repro.core.masks): 'auto' "
+        "picks bigint below the chunking threshold and sparse chunked "
+        "bitmaps at paper scale; every backend mines the identical "
+        "model",
     )
     parser.add_argument(
         "--json",
@@ -147,6 +162,7 @@ def _mine_config(args) -> CSPMConfig:
         method=args.method,
         coreset_encoder=args.encoder,
         partial_update_scope=args.scope,
+        mask_backend=args.mask_backend,
         **post_filters,
     )
 

@@ -28,6 +28,9 @@ from repro.errors import ConfigError
 METHODS: Tuple[str, ...] = ("partial", "basic")
 ENCODERS: Tuple[str, ...] = ("singleton", "slim", "krimp")
 UPDATE_SCOPES: Tuple[str, ...] = ("lazy", "exhaustive", "related")
+# Canonical backend-name registry; repro.core.masks re-exports it (this
+# module imports only repro.errors, so that direction is cycle-free).
+MASK_BACKENDS: Tuple[str, ...] = ("auto", "bigint", "chunked", "numpy")
 
 
 @dataclass(frozen=True)
@@ -67,6 +70,14 @@ class CSPMConfig:
     min_leafset:
         Post-filter: drop a-stars whose leafset is smaller than this
         (default 1 = keep all).  Applied with ``top_k``.
+    mask_backend:
+        Position-mask representation for the inverted database
+        (:mod:`repro.core.masks`): ``"auto"`` (default — bigint below
+        the chunking threshold, chunked at paper scale), ``"bigint"``,
+        ``"chunked"`` or ``"numpy"``.  Purely an execution-engine
+        choice: every backend mines the bit-identical model, so the
+        field is serialised only when non-default (schema-v1 result
+        documents stay byte-stable).
     """
 
     method: str = "partial"
@@ -76,6 +87,7 @@ class CSPMConfig:
     partial_update_scope: str = "lazy"
     top_k: Optional[int] = None
     min_leafset: int = 1
+    mask_backend: str = "auto"
 
     def __post_init__(self) -> None:
         if self.method not in METHODS:
@@ -122,6 +134,11 @@ class CSPMConfig:
             raise ConfigError(
                 f"min_leafset must be a positive int, got {self.min_leafset!r}"
             )
+        if self.mask_backend not in MASK_BACKENDS:
+            raise ConfigError(
+                f"mask_backend must be one of {MASK_BACKENDS}, "
+                f"got {self.mask_backend!r}"
+            )
 
     # ------------------------------------------------------------------
     # Derivation and serialisation
@@ -135,8 +152,18 @@ class CSPMConfig:
             raise ConfigError(str(exc)) from None
 
     def to_dict(self) -> Dict[str, Any]:
-        """A JSON-serialisable mapping of every field."""
-        return dataclasses.asdict(self)
+        """A JSON-serialisable mapping of the config.
+
+        ``mask_backend`` is included only when non-default: the backend
+        never changes the mined output, and omitting the default keeps
+        existing schema-v1 result documents (including the CLI golden
+        file) byte-identical.  :meth:`from_dict` round-trips either
+        way.
+        """
+        document = dataclasses.asdict(self)
+        if document["mask_backend"] == "auto":
+            del document["mask_backend"]
+        return document
 
     @classmethod
     def from_dict(cls, document: Mapping[str, Any]) -> "CSPMConfig":

@@ -9,7 +9,13 @@ from repro.core.astar import AStar
 from repro.core.candidates import LeafsetInterner
 from repro.core.code_table import CoreCodeTable, StandardCodeTable
 from repro.core.inverted_db import InvertedDatabase, MergeOutcome
-from repro.core.mdl import DescriptionLength, conditional_entropy, description_length
+from repro.core.masks import MaskBackend, get_backend, resolve_backend
+from repro.core.mdl import (
+    DescriptionLength,
+    conditional_entropy,
+    description_length,
+    initial_description_length,
+)
 from repro.core.miner import CSPM, CSPMResult
 from repro.core.pairgen import overlap_pairs
 from repro.core.scoring import AStarScorer
@@ -23,9 +29,13 @@ __all__ = [
     "DescriptionLength",
     "InvertedDatabase",
     "LeafsetInterner",
+    "MaskBackend",
     "MergeOutcome",
     "StandardCodeTable",
     "conditional_entropy",
     "description_length",
+    "get_backend",
+    "initial_description_length",
     "overlap_pairs",
+    "resolve_backend",
 ]

@@ -55,7 +55,7 @@ def run_basic(
     engine = GainEngine(db, standard_table, core_table)
     iteration = 0
     while max_iterations is None or iteration < max_iterations:
-        n = len(db.leafsets())
+        n = db.num_leafsets
         possible = n * (n - 1) // 2
         best_pair = None
         best_gain = GAIN_EPS

@@ -212,7 +212,7 @@ def run_partial(
                     )
                     continue
 
-        num_leafsets = len(db.leafsets())
+        num_leafsets = db.num_leafsets
         possible = num_leafsets * (num_leafsets - 1) // 2
         related_x = state.related(leaf_x)
         related_y = state.related(leaf_y)
@@ -410,6 +410,7 @@ def _update_lazy(
     new_leaf = outcome.new_leafset
     epoch = db.merge_epoch
     union_of = db.leaf_union_mask
+    overlaps = db.mask_backend.union_overlaps
     touched_unions = outcome.touched_row_unions
     focus, rel_pool = _refresh_pool(db, outcome)
     rel_ordered = interner.order(rel_pool)
@@ -418,7 +419,7 @@ def _update_lazy(
     for leaf in interner.order(focus):
         if not db.has_leafset(leaf):
             continue
-        touched_mask = touched_unions.get(leaf, 0)
+        touched_mask = touched_unions.get(leaf)
         leaf_union = union_of(leaf)
         for rel in rel_ordered:
             if rel == leaf or not db.has_leafset(rel):
@@ -428,12 +429,12 @@ def _update_lazy(
                 continue
             refreshed.add(pair)
             rel_union = union_of(rel)
-            if not (leaf_union & rel_union):
+            if not overlaps(leaf_union, rel_union):
                 if pair in queue:
                     state.drop_candidate(leaf, rel)
                 trace.refreshes_skipped += 1
                 continue
-            if not (touched_mask & rel_union):
+            if touched_mask is None or not overlaps(touched_mask, rel_union):
                 trace.refreshes_skipped += 1
                 continue
             breakdown, gain = net_gain(leaf, rel)
@@ -448,7 +449,7 @@ def _update_lazy(
             if pair in refreshed:
                 continue
             refreshed.add(pair)
-            if not (union_of(leaf) & union_of(rel)):
+            if not overlaps(union_of(leaf), union_of(rel)):
                 if pair in queue:
                     state.drop_candidate(leaf, rel)
                 trace.refreshes_skipped += 1

@@ -84,9 +84,11 @@ class GainEngine:
     avoids per-call overhead: ``x*log2(x)`` values are served from a
     lazily-grown lookup table, leafset standard-code costs and coreset
     pointer lengths are cached, row frequencies come from the database's
-    incrementally-maintained popcount index (one big-int ``bit_count``
-    per common coreset instead of three), and each pair's common-coreset
-    list is memoised.
+    incrementally-maintained popcount index (one mask ``and_count`` per
+    common coreset instead of three popcounts), and each pair's
+    common-coreset list is memoised.  All mask arithmetic goes through
+    the database's :mod:`~repro.core.masks` backend, so the engine is
+    representation-agnostic and exact on every backend.
 
     The common-coreset cache is keyed by the packed interned pair id and
     validated by the two leafsets' merge epochs: a leafset's coreset
@@ -121,6 +123,10 @@ class GainEngine:
         self._xlogx = [0.0, 0.0]
         # packed pair id -> (common coresets, leaf_epoch_x, leaf_epoch_y)
         self._pair_cores: dict = {}
+        # Bound mask ops of the database's backend: the hot loop's xye
+        # count and the disjoint-union prefilter (repro.core.masks).
+        self._and_count = db.mask_backend.and_count
+        self._overlaps = db.mask_backend.union_overlaps
 
     def _xl(self, x: int) -> float:
         table = self._xlogx
@@ -215,7 +221,13 @@ class GainEngine:
         # Prefilter: if the leafsets' position unions are disjoint, no
         # coreset can have a non-empty intersection and the gain is 0.
         union = db._leaf_union
-        if not (union.get(leaf_x, 0) & union.get(leaf_y, 0)):
+        union_x = union.get(leaf_x)
+        union_y = union.get(leaf_y)
+        if (
+            union_x is None
+            or union_y is None
+            or not self._overlaps(union_x, union_y)
+        ):
             return ZERO_GAIN
         interner = db.interner
         id_x = interner.intern(leaf_x)
@@ -233,17 +245,15 @@ class GainEngine:
         price_model = self.standard_table is not None
         new_leaf_cost = self.leaf_cost(new_leaf) if price_model else 0.0
         xl = self._xl
+        and_count = self._and_count
         p1 = 0.0
         p2 = 0.0
         model_gain = 0.0
         data_core_gain = 0.0
         for core in common:
-            bits_x = rows[(core, leaf_x)]
-            bits_y = rows[(core, leaf_y)]
-            inter = bits_x & bits_y
-            if not inter:
+            xye = and_count(rows[(core, leaf_x)], rows[(core, leaf_y)])
+            if not xye:
                 continue
-            xye = inter.bit_count()
             xe = row_freq[(core, leaf_x)]
             ye = row_freq[(core, leaf_y)]
             fe = freq[core]

@@ -7,10 +7,17 @@ cover.  Initially every row is a one-leaf-value a-star; CSPM mines by
 repeatedly *merging* two leafsets, which moves the common positions of
 each shared coreset into a new ``SLx | SLy`` row.
 
-Positions are stored as integer bitmasks over a fixed vertex order —
-the co-occurrence counts behind Eq. 9-15 are position-set
-intersections, and ``(px & py).bit_count()`` on machine words is what
-keeps gain computation fast at Pokec scale.
+Positions are stored as bitmasks over a fixed vertex order — the
+co-occurrence counts behind Eq. 9-15 are position-set intersections,
+and AND+popcount on machine words is what keeps gain computation fast
+at Pokec scale.  The mask *representation* is pluggable
+(:mod:`repro.core.masks`): whole-graph Python ints (``bigint``, the
+default), sparse dict-of-chunk bitmaps (``chunked``) or numpy-packed
+chunks (``numpy``) — all bit-exact interchangeable, selected per
+database at construction.  The vertex->bit table is precomputed once
+per construction (in first-touch order over repr-sorted coresets, so
+community positions land in adjacent bits) and shared by every mask
+the database owns.
 
 Invariants maintained by this class (checked by :meth:`validate`):
 
@@ -38,7 +45,8 @@ from typing import (
     Tuple,
 )
 
-from repro.core.candidates import LeafsetInterner
+from repro.core.candidates import LeafsetInterner, leafset_sort_key
+from repro.core.masks import MaskBackend, BigintMaskBackend, bigint_mask_bytes
 from repro.errors import MiningError
 from repro.graphs.attributed_graph import AttributedGraph
 
@@ -47,6 +55,7 @@ Vertex = Hashable
 LeafKey = FrozenSet[Value]
 CoreKey = FrozenSet[Value]
 RowKey = Tuple[CoreKey, LeafKey]
+Mask = object
 
 
 @dataclass(frozen=True)
@@ -88,6 +97,7 @@ class MergeOutcome:
     only have changed if its positions intersect this mask (every gain
     term requires a non-empty per-coreset intersection), which is what
     lets the lazy refresh skip provably-unchanged pairs with one AND.
+    The masks are values of the owning database's mask backend.
     """
 
     leaf_x: LeafKey
@@ -95,7 +105,7 @@ class MergeOutcome:
     new_leafset: LeafKey
     stats: List[CoresetMergeStats] = field(default_factory=list)
     removed_leafsets: Set[LeafKey] = field(default_factory=set)
-    touched_row_unions: Dict[LeafKey, int] = field(default_factory=dict)
+    touched_row_unions: Dict[LeafKey, Mask] = field(default_factory=dict)
 
     @property
     def touched_coresets(self) -> List[CoreKey]:
@@ -115,8 +125,15 @@ class InvertedDatabase:
     leafset -> coresets and coreset -> leafsets.
     """
 
-    def __init__(self) -> None:
-        self._rows: Dict[RowKey, int] = {}
+    def __init__(self, mask_backend: Optional[MaskBackend] = None) -> None:
+        # The position-mask representation strategy.  Backends are
+        # stateless; masks held in ``_rows``/``_leaf_union`` are values
+        # interpreted through this object only.  After construction all
+        # mask operations are pure, so ``copy`` shares mask values.
+        self._masks: MaskBackend = (
+            mask_backend if mask_backend is not None else BigintMaskBackend()
+        )
+        self._rows: Dict[RowKey, Mask] = {}
         self._leaf_to_cores: Dict[LeafKey, Set[CoreKey]] = {}
         self._core_to_leaves: Dict[CoreKey, Set[LeafKey]] = {}
         self._core_freq: Dict[CoreKey, int] = {}
@@ -126,7 +143,13 @@ class InvertedDatabase:
         # Disjoint unions imply zero gain, which lets candidate
         # generation and gain evaluation short-circuit with a single
         # AND (most pairs in community-structured graphs are disjoint).
-        self._leaf_union: Dict[LeafKey, int] = {}
+        self._leaf_union: Dict[LeafKey, Mask] = {}
+        # Row keys in (sorted-coreset, sorted-leafset) order, recorded
+        # while ``from_graph`` finalises each coreset — the exact order
+        # ``mdl._sorted_rows`` would produce, captured for free so the
+        # initial description length needs no global re-sort.  Valid
+        # only for the freshly-built database; dropped on first merge.
+        self._initial_row_order: Optional[List[RowKey]] = None
         # Stable integer leafset ids: initial leafsets are interned in
         # repr-sorted order at construction, merged leafsets at merge
         # time, so ordering is deterministic and hash-seed-independent
@@ -159,6 +182,7 @@ class InvertedDatabase:
         cls,
         graph: AttributedGraph,
         coreset_positions: Optional[Mapping[CoreKey, Iterable[Vertex]]] = None,
+        mask_backend: Optional[MaskBackend] = None,
     ) -> "InvertedDatabase":
         """Build the initial inverted database from an attributed graph.
 
@@ -171,26 +195,63 @@ class InvertedDatabase:
             multi-value coreset encoder (Section IV-F, step 1).  When
             omitted, every attribute value is its own singleton coreset
             at every vertex carrying it.
+        mask_backend:
+            The position-mask representation (:mod:`repro.core.masks`);
+            defaults to whole-graph bigint masks.
 
         Every initial row is ``(Sc, {leaf value})`` with positions the
         vertices where ``Sc`` holds and some neighbour carries the leaf
         value.
         """
-        db = cls()
+        db = cls(mask_backend=mask_backend)
         if coreset_positions is None:
             coreset_positions = {
                 frozenset([value]): vertices
                 for value, vertices in graph.value_positions().items()
             }
+        # Pass 1: plan the (coreset, sorted members) iteration, compute
+        # each vertex's neighbour-value set exactly once (a vertex with
+        # k attribute values is visited k times) and precompute the
+        # vertex->bit table in the same first-touch order the row loop
+        # uses — one shared vertex order for every mask the database
+        # will ever hold.
+        plan: Dict[CoreKey, List[Vertex]] = {}
+        neighbor_values: Dict[Vertex, FrozenSet[Value]] = {}
+        vertex_bit = db._vertex_bit
+        vertex_ids = db._vertex_ids
         for coreset, vertices in sorted(
             coreset_positions.items(), key=lambda kv: _key_of(kv[0])
         ):
             core_key = frozenset(coreset)
             if not core_key:
                 raise MiningError("empty coreset is not allowed")
-            for vertex in sorted(vertices, key=repr):
-                for leaf_value in graph.neighbor_values(vertex):
+            members = sorted(vertices, key=repr)
+            plan.setdefault(core_key, []).extend(members)
+            for vertex in members:
+                values = neighbor_values.get(vertex)
+                if values is None:
+                    values = graph.neighbor_values(vertex)
+                    neighbor_values[vertex] = values
+                if values and vertex not in vertex_bit:
+                    vertex_bit[vertex] = len(vertex_ids)
+                    vertex_ids.append(vertex)
+        # Pass 2: build the rows.  Each coreset's rows are final when
+        # its iteration ends (no later vertex can touch them), so the
+        # per-coreset sorted row keys appended here reproduce the
+        # global (coreset, leafset) sort order without ever sorting all
+        # rows at once — ``mdl.initial_description_length`` accumulates
+        # the Eq. 1-8 terms over exactly this order.
+        row_order: List[RowKey] = []
+        for core_key, members in plan.items():
+            for vertex in members:
+                for leaf_value in neighbor_values[vertex]:
                     db._add_position(core_key, frozenset([leaf_value]), vertex)
+            leaves = db._core_to_leaves.get(core_key)
+            if leaves:
+                row_order.extend(
+                    (core_key, leaf) for leaf in sorted(leaves, key=_key_of)
+                )
+        db._initial_row_order = row_order
         # Intern the initial leafsets in repr-sorted order: first-sight
         # ids then coincide with the repr ordering the seed used, so
         # seeding-time tie-breaks are unchanged and independent of the
@@ -204,6 +265,8 @@ class InvertedDatabase:
         return db
 
     def _bit_of(self, vertex: Vertex) -> int:
+        """The vertex's bit index (``from_graph`` precomputes these;
+        direct ``_add_position`` callers still get lazy assignment)."""
         bit = self._vertex_bit.get(vertex)
         if bit is None:
             bit = len(self._vertex_ids)
@@ -213,30 +276,28 @@ class InvertedDatabase:
 
     def _add_position(self, core: CoreKey, leaf: LeafKey, vertex: Vertex) -> None:
         key = (core, leaf)
-        mask = 1 << self._bit_of(vertex)
+        bit = self._bit_of(vertex)
+        masks = self._masks
         current = self._rows.get(key)
         if current is None:
-            self._rows[key] = mask
+            self._rows[key] = masks.make((bit,))
             self._row_freq[key] = 1
             self._leaf_to_cores.setdefault(leaf, set()).add(core)
             self._core_to_leaves.setdefault(core, set()).add(leaf)
             self._core_freq[core] = self._core_freq.get(core, 0) + 1
-            self._leaf_union[leaf] = self._leaf_union.get(leaf, 0) | mask
-        elif not (current & mask):
-            self._rows[key] = current | mask
+            union = self._leaf_union.get(leaf)
+            self._leaf_union[leaf] = (
+                masks.make((bit,)) if union is None else masks.set_bit(union, bit)
+            )
+        elif not masks.has_bit(current, bit):
+            self._rows[key] = masks.set_bit(current, bit)
             self._row_freq[key] += 1
             self._core_freq[core] += 1
-            self._leaf_union[leaf] |= mask
+            self._leaf_union[leaf] = masks.set_bit(self._leaf_union[leaf], bit)
 
-    def _to_vertices(self, bits: int) -> FrozenSet[Vertex]:
-        vertices = []
-        index = 0
-        while bits:
-            if bits & 1:
-                vertices.append(self._vertex_ids[index])
-            bits >>= 1
-            index += 1
-        return frozenset(vertices)
+    def _to_vertices(self, mask: Mask) -> FrozenSet[Vertex]:
+        ids = self._vertex_ids
+        return frozenset(ids[bit] for bit in self._masks.iter_bits(mask))
 
     # ------------------------------------------------------------------
     # Read access
@@ -258,6 +319,69 @@ class InvertedDatabase:
         """Iterate ``(coreset, leafset, frequency)`` without decoding."""
         for key, frequency in self._row_freq.items():
             yield key[0], key[1], frequency
+
+    @property
+    def mask_backend(self) -> MaskBackend:
+        """The position-mask representation this database was built on."""
+        return self._masks
+
+    @property
+    def num_position_bits(self) -> int:
+        """Width of the vertex order (bits a whole-graph mask spans)."""
+        return len(self._vertex_ids)
+
+    @property
+    def num_leafsets(self) -> int:
+        """Number of distinct live leafsets (O(1))."""
+        return len(self._leaf_to_cores)
+
+    def vertex_bit_table(self) -> Mapping[Vertex, int]:
+        """The shared vertex -> bit index table (do not mutate).
+
+        Precomputed once per construction; every mask the database owns
+        is expressed over this one order, so backends (and any external
+        mask consumer) can translate vertices to bits without touching
+        backend internals.
+        """
+        return self._vertex_bit
+
+    def initial_row_order(self) -> Optional[List[RowKey]]:
+        """Row keys in global (coreset, leafset) sorted order, or ``None``.
+
+        Available only on a freshly-built database (``from_graph``
+        records it as each coreset finalises; the first merge drops
+        it).  ``mdl.initial_description_length`` walks this instead of
+        re-sorting every row.
+        """
+        return self._initial_row_order
+
+    def mask_memory_bytes(self) -> int:
+        """Estimated bytes held by all row and union masks right now."""
+        mask_bytes = self._masks.mask_bytes
+        total = 0
+        for mask in self._rows.values():
+            total += mask_bytes(mask)
+        for mask in self._leaf_union.values():
+            total += mask_bytes(mask)
+        return total
+
+    def bigint_mask_bytes_estimate(self) -> int:
+        """What these same masks would cost on the bigint backend.
+
+        The reference the perf suite's mask-memory reduction ratio is
+        measured against.  Each mask is priced at its actual bit span
+        (a Python int only pays up to its highest set bit), so this is
+        exactly the total ``BigintMaskBackend.mask_bytes`` would report
+        for an identical database — not an ``O(|V|)``-per-mask
+        overstatement.
+        """
+        span_of = self._masks.bit_span
+        total = 0
+        for mask in self._rows.values():
+            total += bigint_mask_bytes(max(1, span_of(mask)))
+        for mask in self._leaf_union.values():
+            total += bigint_mask_bytes(max(1, span_of(mask)))
+        return total
 
     @property
     def interner(self) -> LeafsetInterner:
@@ -368,6 +492,7 @@ class InvertedDatabase:
         stats = []
         rows = self._rows
         freq = self._core_freq
+        masks = self._masks
         for core in self.common_coresets(leaf_x, leaf_y):
             px = rows[(core, leaf_x)]
             py = rows[(core, leaf_y)]
@@ -375,9 +500,9 @@ class InvertedDatabase:
                 CoresetMergeStats(
                     coreset=core,
                     fe=freq[core],
-                    xe=px.bit_count(),
-                    ye=py.bit_count(),
-                    xye=(px & py).bit_count(),
+                    xe=masks.popcount(px),
+                    ye=masks.popcount(py),
+                    xye=masks.and_count(px, py),
                 )
             )
         return stats
@@ -402,16 +527,20 @@ class InvertedDatabase:
         intern = self._interner.intern
         self._merge_index += 1
         epoch = self._merge_index
+        # The construction-order row list is only valid pre-merge.
+        self._initial_row_order = None
         outcome = MergeOutcome(leaf_x=leaf_x, leaf_y=leaf_y, new_leafset=new_leaf)
-        union_x = 0
-        union_y = 0
-        union_new = 0
+        masks = self._masks
+        union_x = masks.empty()
+        union_y = masks.empty()
+        union_new = masks.empty()
+        touched = False
         row_freq = self._row_freq
         for core in sorted(self.common_coresets(leaf_x, leaf_y), key=_key_of):
             px = self._rows[(core, leaf_x)]
             py = self._rows[(core, leaf_y)]
-            inter = px & py
-            count = inter.bit_count()
+            inter = masks.and_(px, py)
+            count = masks.popcount(inter)
             outcome.stats.append(
                 CoresetMergeStats(
                     coreset=core,
@@ -423,28 +552,33 @@ class InvertedDatabase:
             )
             if not count:
                 continue
+            touched = True
             self._core_epoch[core] = epoch
-            union_x |= px
-            union_y |= py
+            union_x = masks.or_(union_x, px)
+            union_y = masks.or_(union_y, py)
             target_key = (core, new_leaf)
             target = self._rows.get(target_key)
             if target is None:
                 self._rows[target_key] = inter
                 row_freq[target_key] = count
-                union_new |= inter
+                union_new = masks.or_(union_new, inter)
                 self._leaf_to_cores.setdefault(new_leaf, set()).add(core)
                 self._core_to_leaves.setdefault(core, set()).add(new_leaf)
                 insort(self._core_leaf_ids[core], new_id)
             else:
                 # Disjointness holds because per (coreset, vertex) each
                 # leaf value is covered by exactly one row.
-                self._rows[target_key] = target | inter
+                merged = masks.or_(target, inter)
+                self._rows[target_key] = merged
                 row_freq[target_key] += count
-                union_new |= target | inter
+                union_new = masks.or_(union_new, merged)
             # Each merged position replaces two row usages by one.
             self._core_freq[core] -= count
-            for leaf, remaining in ((leaf_x, px & ~inter), (leaf_y, py & ~inter)):
-                if remaining:
+            for leaf, remaining in (
+                (leaf_x, masks.andnot(px, inter)),
+                (leaf_y, masks.andnot(py, inter)),
+            ):
+                if not masks.is_empty(remaining):
                     self._rows[(core, leaf)] = remaining
                     row_freq[(core, leaf)] -= count
                 else:
@@ -461,7 +595,7 @@ class InvertedDatabase:
                         del self._leaf_to_cores[leaf]
                         del self._leaf_union[leaf]
                         outcome.removed_leafsets.add(leaf)
-        if union_x or union_y:
+        if touched:
             outcome.touched_row_unions = {
                 leaf_x: union_x,
                 leaf_y: union_y,
@@ -474,15 +608,20 @@ class InvertedDatabase:
         for leaf in (leaf_x, leaf_y, new_leaf):
             cores = self._leaf_to_cores.get(leaf)
             if cores:
-                union = 0
+                union = masks.empty()
                 for core in cores:
-                    union |= self._rows[(core, leaf)]
+                    union = masks.or_(union, self._rows[(core, leaf)])
                 self._leaf_union[leaf] = union
         return outcome
 
-    def leaf_union_mask(self, leaf: LeafKey) -> int:
-        """Union bitmask of the leafset's positions over all coresets."""
-        return self._leaf_union.get(leaf, 0)
+    def leaf_union_mask(self, leaf: LeafKey) -> Mask:
+        """Union bitmask of the leafset's positions over all coresets.
+
+        An empty mask (of the database's backend) when the leafset has
+        no rows.
+        """
+        found = self._leaf_union.get(leaf)
+        return found if found is not None else self._masks.empty()
 
     # ------------------------------------------------------------------
     # Validation / export
@@ -495,15 +634,17 @@ class InvertedDatabase:
         coresets: the union of rows reconstructs exactly the initial
         (core value, vertex) -> adjacent-leaf-values relation.
         """
+        masks = self._masks
         recomputed: Dict[CoreKey, int] = {}
         for (core, leaf), bits in self._rows.items():
-            if not bits:
+            if masks.is_empty(bits):
                 raise MiningError(f"empty row {(core, leaf)}")
             if core not in self._leaf_to_cores.get(leaf, ()):
                 raise MiningError(f"index out of sync for row {(core, leaf)}")
-            if self._row_freq.get((core, leaf)) != bits.bit_count():
+            count = masks.popcount(bits)
+            if self._row_freq.get((core, leaf)) != count:
                 raise MiningError(f"stale row frequency for {(core, leaf)}")
-            recomputed[core] = recomputed.get(core, 0) + bits.bit_count()
+            recomputed[core] = recomputed.get(core, 0) + count
         if set(self._row_freq) != set(self._rows):
             raise MiningError("row frequency index out of sync with rows")
         active = {c: f for c, f in self._core_freq.items() if f > 0}
@@ -520,11 +661,18 @@ class InvertedDatabase:
                 if (core, leaf) not in self._rows:
                     raise MiningError(f"dangling core index entry {(core, leaf)}")
         for leaf, cores in self._leaf_to_cores.items():
-            union = 0
+            union = masks.empty()
             for core in cores:
-                union |= self._rows[(core, leaf)]
-            if self._leaf_union.get(leaf, 0) != union:
+                union = masks.or_(union, self._rows[(core, leaf)])
+            if not masks.equals(self.leaf_union_mask(leaf), union):
                 raise MiningError(f"stale union mask for leafset {set(leaf)}")
+        if self._initial_row_order is not None:
+            if sorted(self._initial_row_order, key=_row_key_of) != sorted(
+                self._rows, key=_row_key_of
+            ) or self._initial_row_order != sorted(
+                self._initial_row_order, key=_row_key_of
+            ):
+                raise MiningError("stale initial row order")
         for leaf in self._leaf_to_cores:
             if leaf not in self._interner:
                 raise MiningError(f"leafset {set(leaf)} missing from interner")
@@ -572,8 +720,13 @@ class InvertedDatabase:
         return {key: self._to_vertices(bits) for key, bits in self._rows.items()}
 
     def copy(self) -> "InvertedDatabase":
-        """An independent deep copy (merges on it leave self intact)."""
-        db = InvertedDatabase()
+        """An independent deep copy (merges on it leave self intact).
+
+        Mask values are shared, not duplicated: every post-construction
+        mask operation is pure (see :mod:`repro.core.masks.base`), so
+        merging on either copy replaces masks instead of mutating them.
+        """
+        db = InvertedDatabase(mask_backend=self._masks)
         db._rows = dict(self._rows)
         db._leaf_to_cores = {
             leaf: set(cores) for leaf, cores in self._leaf_to_cores.items()
@@ -593,6 +746,11 @@ class InvertedDatabase:
         db._merge_index = self._merge_index
         db._core_epoch = dict(self._core_epoch)
         db._leaf_epoch = dict(self._leaf_epoch)
+        db._initial_row_order = (
+            list(self._initial_row_order)
+            if self._initial_row_order is not None
+            else None
+        )
         return db
 
     def __repr__(self) -> str:
@@ -603,6 +761,14 @@ class InvertedDatabase:
         )
 
 
-def _key_of(values: FrozenSet) -> Tuple:
-    """Deterministic sort key for frozensets of hashables."""
-    return tuple(sorted(map(repr, values)))
+# The deterministic frozenset sort key.  This must be *the same
+# function* ``mdl._sorted_rows`` sorts by: ``from_graph`` records its
+# row order under this key and ``initial_description_length`` promises
+# byte-identical floats to the ``_sorted_rows``-ordered recompute, so
+# the two orders may never drift apart.
+_key_of = leafset_sort_key
+
+
+def _row_key_of(row: RowKey) -> Tuple[Tuple, Tuple]:
+    """Deterministic sort key for ``(coreset, leafset)`` row keys."""
+    return (_key_of(row[0]), _key_of(row[1]))

@@ -138,14 +138,20 @@ def description_length(
     db: InvertedDatabase,
     standard_table: StandardCodeTable,
     core_table: Optional[CoreCodeTable] = None,
+    rows=None,
 ) -> DescriptionLength:
     """Recompute the full DL breakdown from scratch (Eq. 1-8).
 
     Sums run in sorted order so the result is identical for any
     ``PYTHONHASHSEED`` — see :func:`_sorted_rows` and
-    :meth:`StandardCodeTable.set_cost`.
+    :meth:`StandardCodeTable.set_cost`.  ``rows`` may carry the
+    ``(core, leaf, frequency)`` triples *already in that canonical
+    order* (e.g. from the database's construction-order record) to
+    skip the global sort; the summation order — and hence every float —
+    is identical either way.
     """
-    rows = _sorted_rows(db)
+    if rows is None:
+        rows = _sorted_rows(db)
     model_core = 0.0
     if core_table is not None:
         for coreset in sorted(core_table.coresets(), key=leafset_sort_key):
@@ -153,10 +159,21 @@ def description_length(
             model_core += core_table.code_length(coreset)
     model_leaf = 0.0
     data_core = 0.0
+    # Per-leafset/per-coreset cost memos: ``set_cost``/``code_length``
+    # are pure, so reusing the exact float per distinct key changes
+    # nothing while cutting the dominant per-row cost (initial rows
+    # share a handful of singleton leafsets).
+    leaf_cost: Dict[Any, float] = {}
+    pointer_of: Dict[Any, float] = {}
     for core, leaf, frequency in rows:
-        model_leaf += standard_table.set_cost(leaf)
+        cost = leaf_cost.get(leaf)
+        if cost is None:
+            cost = leaf_cost[leaf] = standard_table.set_cost(leaf)
+        model_leaf += cost
         if core_table is not None:
-            pointer = core_table.code_length(core)
+            pointer = pointer_of.get(core)
+            if pointer is None:
+                pointer = pointer_of[core] = core_table.code_length(core)
             model_leaf += pointer
             data_core += frequency * pointer
     return DescriptionLength(
@@ -165,6 +182,29 @@ def description_length(
         data_leaf_bits=data_leaf_bits(db, rows=rows),
         data_core_bits=data_core,
     )
+
+
+def initial_description_length(
+    db: InvertedDatabase,
+    standard_table: StandardCodeTable,
+    core_table: Optional[CoreCodeTable] = None,
+) -> DescriptionLength:
+    """The freshly-built database's DL without a global row sort.
+
+    ``InvertedDatabase.from_graph`` records its row keys in canonical
+    (coreset, leafset) sorted order as each coreset finalises — the
+    same order :func:`_sorted_rows` would produce — so the Eq. 1-8
+    terms can be summed straight over that record.  Byte-identical to
+    :func:`description_length` (tests assert it); falls back to the
+    full recompute when the record is unavailable (e.g. after a
+    merge or on a hand-built database).
+    """
+    order = db.initial_row_order()
+    if order is None:
+        return description_length(db, standard_table, core_table)
+    frequency_of = db.row_frequency
+    rows = [(core, leaf, frequency_of(core, leaf)) for core, leaf in order]
+    return description_length(db, standard_table, core_table, rows=rows)
 
 
 def row_code_length(db: InvertedDatabase, core, leaf) -> float:

@@ -48,7 +48,7 @@ class CSPM:
         the paper's settings).  Keywords passed *alongside* ``config``
         override the corresponding config fields.
     method, coreset_encoder, include_model_cost, max_iterations, \
-    partial_update_scope, top_k, min_leafset:
+    partial_update_scope, top_k, min_leafset, mask_backend:
         Legacy/convenience knobs; see :class:`~repro.config.CSPMConfig`
         for their meaning.
     """
@@ -62,6 +62,7 @@ class CSPM:
         partial_update_scope: str = _UNSET,
         top_k: Optional[int] = _UNSET,
         min_leafset: int = _UNSET,
+        mask_backend: str = _UNSET,
         config: Optional[CSPMConfig] = None,
     ) -> None:
         overrides = {
@@ -74,6 +75,7 @@ class CSPM:
                 ("partial_update_scope", partial_update_scope),
                 ("top_k", top_k),
                 ("min_leafset", min_leafset),
+                ("mask_backend", mask_backend),
             )
             if value is not _UNSET
         }
@@ -110,6 +112,10 @@ class CSPM:
     @property
     def partial_update_scope(self) -> str:
         return self.config.partial_update_scope
+
+    @property
+    def mask_backend(self) -> str:
+        return self.config.mask_backend
 
     def __repr__(self) -> str:
         return f"CSPM({self.config.describe()})"

@@ -64,6 +64,7 @@ def overlap_pairs(
     if interner is None:
         interner = db.interner
     union_of = db.leaf_union_mask
+    overlaps = db.mask_backend.union_overlaps
     leaf_of = interner.leafset_of
 
     leafsets = db.leafsets()
@@ -85,7 +86,7 @@ def overlap_pairs(
             mask_i = masks[i]
             leaf_i = ordered[i][1]
             for j in range(i + 1, n):
-                if mask_i & masks[j]:
+                if overlaps(mask_i, masks[j]):
                     out.append((leaf_i, ordered[j][1]))
         return out
 
@@ -112,7 +113,7 @@ def overlap_pairs(
         mask_y = mask_of_id.get(id_y)
         if mask_y is None:
             mask_y = mask_of_id[id_y] = union_of(leaf_of(id_y))
-        if mask_x & mask_y:
+        if overlaps(mask_x, mask_y):
             out.append((leaf_of(id_x), leaf_of(id_y)))
     return out
 

@@ -24,29 +24,49 @@ Workloads
     co-occurs, overlap generation must not be slower than the scan it
     replaces.  CSPM-Partial only, matching how Table III treats the
     large graphs.
+``pokec-sparse``
+    The paper-scale workload (schema v3): the sparse community family
+    scaled to hundreds of thousands of vertices — the regime the
+    ROADMAP's pokec scale-ceiling item names.  Whole-graph bigint
+    masks are *infeasible* here (every row would pay ``O(|V|)`` bytes;
+    the recorded ``bigint_mask_bytes_estimate`` shows gigabytes), so
+    this family always runs on a sparse chunked backend
+    (:mod:`repro.core.masks`): the suite-level ``--mask-backend``
+    choice is honoured when it names ``chunked`` or ``numpy`` and is
+    upgraded to ``chunked`` otherwise.  CSPM-Partial/overlap only —
+    the quadratic full scan over ~50k leafsets is exactly the blow-up
+    the overlap generator removes.
 
 Every run records wall-clock and the trace counters
 (``initial_candidate_gains``, ``total_gain_computations``,
-``peak_queue_size``, and — schema v2 — the lazy-refresh counters
-``refreshes_skipped``/``dirty_revalidations``, plus iterations and
-final DL bits).  ``partial`` runs use the library default update scope
-(``lazy``), recorded in the run's ``update_scope`` field.  Counters are
-structural — determined by the graph, not the machine — so CI asserts
-regressions on them (``--check benchmarks/perf_bounds.json``) instead
-of on flaky wall-clock thresholds; wall-clock is recorded for the
-human-readable trajectory.
+``peak_queue_size``, the lazy-refresh counters
+``refreshes_skipped``/``dirty_revalidations``, iterations and final DL
+bits) plus — schema v3 — the resolved ``mask_backend`` and
+``mask_peak_bytes`` (the larger of the mask memory held just after
+construction and at convergence; every series entry also carries the
+``bigint_mask_bytes_estimate`` reference, so the chunked backends'
+memory reduction is a recorded, assertable ratio).  ``partial`` runs
+use the library default update scope (``lazy``), recorded in the run's
+``update_scope`` field.  Counters are structural — determined by the
+graph, not the machine — so CI asserts regressions on them (``--check
+benchmarks/perf_bounds.json``) instead of on flaky wall-clock
+thresholds; wall-clock is recorded for the human-readable trajectory.
+Mask backends are bit-exact interchangeable, so re-running the suite
+under ``--mask-backend bigint|chunked|numpy`` must reproduce identical
+counters — the CI perf-smoke job exercises exactly that.
 
 A single workload family can be re-measured without discarding the
 rest of an existing document: ``--workload <name>`` (repeatable)
 restricts the run, and when the output file already exists its other
 workload entries are carried over unchanged (see :func:`merge_into`).
 
-Output document (``BENCH_cspm.json``, schema v2)::
+Output document (``BENCH_cspm.json``, schema v3)::
 
     {
-      "schema_version": 2,
+      "schema_version": 3,
       "suite": "cspm-perf",
       "quick": bool,
+      "mask_backend": "auto",                    # the suite-level request
       "workloads": [
         {
           "workload": "sparse-scaling",
@@ -56,6 +76,8 @@ Output document (``BENCH_cspm.json``, schema v2)::
               "label": "communities=16",
               "num_vertices": int, "num_leafsets": int,
               "possible_pairs": int,
+              "mask_backend": "bigint",          # resolved for this graph
+              "bigint_mask_bytes_estimate": int, # whole-graph-int reference
               "runs": {
                 "partial/overlap": {
                   "wall_seconds": float,
@@ -66,7 +88,9 @@ Output document (``BENCH_cspm.json``, schema v2)::
                   "dirty_revalidations": int,
                   "update_scope": "lazy",         # partial runs only
                   "iterations": int,
-                  "final_dl_bits": float
+                  "final_dl_bits": float,
+                  "mask_backend": "bigint",
+                  "mask_peak_bytes": int
                 },
                 "partial/full": {...}, "basic/overlap": {...}, ...
               },
@@ -88,7 +112,7 @@ import sys
 import time
 from typing import Any, Dict, List, Optional, Sequence
 
-from repro.config import CSPMConfig
+from repro.config import MASK_BACKENDS, CSPMConfig
 from repro.core.cspm_basic import run_basic
 from repro.core.cspm_partial import run_partial
 from repro.datasets import load_dataset
@@ -96,9 +120,15 @@ from repro.datasets.synthetic import community_attributed_graph
 from repro.graphs.attributed_graph import AttributedGraph
 from repro.pipeline import BuildInvertedDB, EncodeCoresets, PipelineContext
 
-SCHEMA_VERSION = 2
+SCHEMA_VERSION = 3
 
-WORKLOAD_NAMES = ("sparse-scaling", "dblp", "dblp-trend", "usflight")
+WORKLOAD_NAMES = (
+    "sparse-scaling",
+    "dblp",
+    "dblp-trend",
+    "usflight",
+    "pokec-sparse",
+)
 
 # The sparse community family: disjoint 6-value pools, 25 vertices per
 # community, light cross-community wiring.  Scaling the community count
@@ -113,6 +143,15 @@ SPARSE_SIZES_QUICK = (16, 32, 48)
 SPARSE_SIZES_FULL = (16, 32, 48, 64)
 DATASET_SCALE_QUICK = 0.5
 DATASET_SCALE_FULL = 1.0
+
+# The pokec-sparse paper-scale family: the same disjoint-pool community
+# structure at 25 vertices/community.  The quick (CI smoke) size stays
+# around 20k vertices; the full series repeats it and crosses the
+# 200k-vertex mark, where whole-graph bigint masks would need
+# gigabytes (the smoke size is in both flavours so the perf_bounds
+# gates apply to either document).
+POKEC_SIZES_QUICK = (800,)
+POKEC_SIZES_FULL = (800, 2000, 8000)
 
 
 def sparse_scaling_graph(num_communities: int, seed: int = 0) -> AttributedGraph:
@@ -131,9 +170,32 @@ def sparse_scaling_graph(num_communities: int, seed: int = 0) -> AttributedGraph
     )
 
 
-def _prepare(graph: AttributedGraph):
+def pokec_sparse_graph(num_communities: int, seed: int = 0) -> AttributedGraph:
+    """A ``pokec-sparse`` family member (same structure, paper scale).
+
+    Cross-community wiring is kept lighter than ``sparse-scaling``'s so
+    the workload stays dominated by within-community co-occurrence, the
+    regime where sparse chunked masks pay off most clearly.
+    """
+    pools = [
+        [f"c{community}v{value}" for value in range(SPARSE_POOL_SIZE)]
+        for community in range(num_communities)
+    ]
+    return community_attributed_graph(
+        community_sizes=[SPARSE_COMMUNITY_SIZE] * num_communities,
+        community_pools=pools,
+        values_per_vertex=(2, 3),
+        intra_degree=2.5,
+        inter_degree=0.05,
+        seed=seed,
+    )
+
+
+def _prepare(graph: AttributedGraph, mask_backend: str = "auto"):
     """Encode coresets + build the inverted DB once per workload size."""
-    context = PipelineContext(graph=graph, config=CSPMConfig())
+    context = PipelineContext(
+        graph=graph, config=CSPMConfig(mask_backend=mask_backend)
+    )
     EncodeCoresets().run(context)
     BuildInvertedDB().run(context)
     return (
@@ -145,7 +207,13 @@ def _prepare(graph: AttributedGraph):
 
 
 def _run_case(
-    db0, standard, core, initial_bits: float, algorithm: str, pair_source: str
+    db0,
+    standard,
+    core,
+    initial_bits: float,
+    algorithm: str,
+    pair_source: str,
+    initial_mask_bytes: int,
 ) -> Dict[str, Any]:
     """One measured search run on a fresh copy of the database."""
     db = db0.copy()
@@ -164,6 +232,15 @@ def _run_case(
         "dirty_revalidations": trace.dirty_revalidations,
         "iterations": trace.num_iterations,
         "final_dl_bits": trace.final_dl_bits,
+        "mask_backend": db.mask_backend.name,
+        # A two-point sample: the larger of mask memory just after
+        # construction and at convergence.  Positions are conserved
+        # but a merge can transiently split a touched row into up to
+        # three, so interior maxima may slightly exceed both samples —
+        # this is an approximation kept deliberately cheap (no
+        # per-merge walks); the CI reduction floor carries an order of
+        # magnitude of margin over it.
+        "mask_peak_bytes": max(initial_mask_bytes, db.mask_memory_bytes()),
     }
     if algorithm != "basic":
         # run_partial's default scope — the algorithm string is
@@ -173,35 +250,53 @@ def _run_case(
 
 
 def _measure_size(
-    graph: AttributedGraph, label: str, run_basic_too: bool
+    graph: AttributedGraph,
+    label: str,
+    run_basic_too: bool,
+    mask_backend: str = "auto",
+    pair_sources: Sequence[str] = ("overlap", "full"),
 ) -> Dict[str, Any]:
     """All (algorithm, pair_source) runs for one workload size."""
-    db0, standard, core, initial_bits = _prepare(graph)
-    num_leafsets = len(db0.leafsets())
+    db0, standard, core, initial_bits = _prepare(graph, mask_backend=mask_backend)
+    num_leafsets = db0.num_leafsets
+    initial_mask_bytes = db0.mask_memory_bytes()
     runs: Dict[str, Dict[str, Any]] = {}
     algorithms = ["partial"] + (["basic"] if run_basic_too else [])
     for algorithm in algorithms:
-        for pair_source in ("overlap", "full"):
+        for pair_source in pair_sources:
             runs[f"{algorithm}/{pair_source}"] = _run_case(
-                db0, standard, core, initial_bits, algorithm, pair_source
+                db0,
+                standard,
+                core,
+                initial_bits,
+                algorithm,
+                pair_source,
+                initial_mask_bytes,
             )
     entry: Dict[str, Any] = {
         "label": label,
         "num_vertices": graph.num_vertices,
         "num_leafsets": num_leafsets,
         "possible_pairs": num_leafsets * (num_leafsets - 1) // 2,
+        "mask_backend": db0.mask_backend.name,
+        "bigint_mask_bytes_estimate": db0.bigint_mask_bytes_estimate(),
         "runs": runs,
     }
     overlap = runs["partial/overlap"]
-    full = runs["partial/full"]
-    entry["seeding_gain_reduction"] = round(
-        full["initial_candidate_gains"] / max(1, overlap["initial_candidate_gains"]),
-        3,
-    )
-    entry["partial_wall_speedup"] = round(
-        full["wall_seconds"] / max(1e-9, overlap["wall_seconds"]), 3
-    )
-    if run_basic_too:
+    full = runs.get("partial/full")
+    if full is not None:
+        entry["seeding_gain_reduction"] = round(
+            full["initial_candidate_gains"]
+            / max(1, overlap["initial_candidate_gains"]),
+            3,
+        )
+        entry["partial_wall_speedup"] = round(
+            full["wall_seconds"] / max(1e-9, overlap["wall_seconds"]), 3
+        )
+    else:
+        entry["seeding_gain_reduction"] = None
+        entry["partial_wall_speedup"] = None
+    if run_basic_too and "basic/full" in runs:
         entry["basic_wall_speedup"] = round(
             runs["basic/full"]["wall_seconds"]
             / max(1e-9, runs["basic/overlap"]["wall_seconds"]),
@@ -212,17 +307,32 @@ def _measure_size(
     return entry
 
 
+def _pokec_backend(mask_backend: str) -> str:
+    """The backend a pokec-sparse run actually uses.
+
+    Whole-graph bigint masks are the very infeasibility this family
+    demonstrates, so ``auto``/``bigint`` requests are upgraded to
+    ``chunked``; an explicit ``numpy`` request is honoured.
+    """
+    return mask_backend if mask_backend in ("chunked", "numpy") else "chunked"
+
+
 def run_suite(
     quick: bool = False,
     seed: int = 0,
     log=None,
     only: Optional[Sequence[str]] = None,
+    mask_backend: str = "auto",
 ) -> Dict[str, Any]:
     """Run the workloads and return the ``BENCH_cspm.json`` document.
 
     ``only`` restricts the run to the named workload families (see
     ``WORKLOAD_NAMES``); unknown names raise ``ValueError`` so CLI
     typos fail loudly instead of silently measuring nothing.
+    ``mask_backend`` forces a position-mask representation on every
+    workload (``pokec-sparse`` upgrades ``auto``/``bigint`` to
+    ``chunked`` — see :func:`_pokec_backend`); counters must be
+    identical across backends, which is how CI pins bit-exactness.
     """
     if only:
         unknown = sorted(set(only) - set(WORKLOAD_NAMES))
@@ -230,6 +340,11 @@ def run_suite(
             raise ValueError(
                 f"unknown workload(s) {unknown}; available: {list(WORKLOAD_NAMES)}"
             )
+    if mask_backend not in MASK_BACKENDS:
+        raise ValueError(
+            f"unknown mask backend {mask_backend!r}; "
+            f"available: {list(MASK_BACKENDS)}"
+        )
 
     def wanted(name: str) -> bool:
         return not only or name in only
@@ -248,7 +363,10 @@ def run_suite(
             graph = sparse_scaling_graph(num_communities, seed=seed)
             series.append(
                 _measure_size(
-                    graph, f"communities={num_communities}", run_basic_too=True
+                    graph,
+                    f"communities={num_communities}",
+                    run_basic_too=True,
+                    mask_backend=mask_backend,
                 )
             )
         workloads.append(
@@ -273,8 +391,43 @@ def run_suite(
                 "kind": "dataset-analogue",
                 "scale": scale,
                 "series": [
-                    _measure_size(graph, f"scale={scale}", run_basic_too=False)
+                    _measure_size(
+                        graph,
+                        f"scale={scale}",
+                        run_basic_too=False,
+                        mask_backend=mask_backend,
+                    )
                 ],
+            }
+        )
+
+    if wanted("pokec-sparse"):
+        backend = _pokec_backend(mask_backend)
+        sizes = POKEC_SIZES_QUICK if quick else POKEC_SIZES_FULL
+        series = []
+        for num_communities in sizes:
+            say(
+                f"pokec-sparse: communities={num_communities} "
+                f"(~{num_communities * SPARSE_COMMUNITY_SIZE} vertices, "
+                f"mask_backend={backend}) ..."
+            )
+            graph = pokec_sparse_graph(num_communities, seed=seed)
+            series.append(
+                _measure_size(
+                    graph,
+                    f"communities={num_communities}",
+                    run_basic_too=False,
+                    mask_backend=backend,
+                    pair_sources=("overlap",),
+                )
+            )
+        workloads.append(
+            {
+                "workload": "pokec-sparse",
+                "kind": "synthetic-community",
+                "pool_size": SPARSE_POOL_SIZE,
+                "community_size": SPARSE_COMMUNITY_SIZE,
+                "series": series,
             }
         )
 
@@ -283,6 +436,7 @@ def run_suite(
         "suite": "cspm-perf",
         "quick": quick,
         "seed": seed,
+        "mask_backend": mask_backend,
         "workloads": workloads,
     }
 
@@ -310,26 +464,40 @@ def merge_into(
 
 def summarize(document: Dict[str, Any]) -> str:
     """A human-readable table of the measured trajectory."""
+
+    def _ratio(value) -> float:
+        return value if value is not None else float("nan")
+
     lines = [
-        f"{'workload':<16}{'size':<16}{'|SL|':>6}{'pairs':>9}"
+        f"{'workload':<16}{'size':<16}{'|SL|':>7}{'pairs':>11}"
         f"{'seed red.':>10}{'partial x':>10}{'basic x':>9}"
         f"{'partial s':>10}{'peak Q':>8}{'skipped':>9}{'dirty':>7}"
+        f"{'mask':>9}{'mask MB':>9}{'vs bigint':>10}"
     ]
     lines.append("-" * len(lines[0]))
     for workload in document["workloads"]:
         for entry in workload["series"]:
             partial = entry["runs"]["partial/overlap"]
-            basic_speedup = entry["basic_wall_speedup"]
+            peak_bytes = partial.get("mask_peak_bytes")
+            estimate = entry.get("bigint_mask_bytes_estimate")
+            reduction = (
+                estimate / peak_bytes
+                if peak_bytes and estimate
+                else float("nan")
+            )
             lines.append(
                 f"{workload['workload']:<16}{entry['label']:<16}"
-                f"{entry['num_leafsets']:>6}{entry['possible_pairs']:>9}"
-                f"{entry['seeding_gain_reduction']:>10.2f}"
-                f"{entry['partial_wall_speedup']:>10.2f}"
-                f"{basic_speedup if basic_speedup is not None else float('nan'):>9.2f}"
+                f"{entry['num_leafsets']:>7}{entry['possible_pairs']:>11}"
+                f"{_ratio(entry.get('seeding_gain_reduction')):>10.2f}"
+                f"{_ratio(entry.get('partial_wall_speedup')):>10.2f}"
+                f"{_ratio(entry.get('basic_wall_speedup')):>9.2f}"
                 f"{partial['wall_seconds']:>10.3f}"
                 f"{partial['peak_queue_size']:>8}"
                 f"{partial.get('refreshes_skipped', 0):>9}"
                 f"{partial.get('dirty_revalidations', 0):>7}"
+                f"{partial.get('mask_backend', '?'):>9}"
+                f"{(peak_bytes or 0) / 1e6:>9.2f}"
+                f"{reduction:>9.1f}x"
             )
     return "\n".join(lines)
 
@@ -353,6 +521,15 @@ def check_bounds(
         drops to zero if the bound-driven refresh stops deferring).
     ``max_dirty_revalidations``
         Upper bound on the lazy scope's queue-head revalidations.
+    ``min_mask_memory_reduction``
+        Lower bound on ``bigint_mask_bytes_estimate / mask_peak_bytes``
+        of the overlap run — the chunked backends' raison d'être.  The
+        estimates are analytic (machine-independent), so the ratio is
+        as deterministic as the counters.
+    ``require_mask_backend``
+        Exact expected resolved backend name for the overlap run
+        (guards the pokec family against silently falling back to
+        bigint masks).
     """
     failures: List[str] = []
     by_name = {w["workload"]: w for w in document["workloads"]}
@@ -379,11 +556,22 @@ def check_bounds(
                     f"{overlap['initial_candidate_gains']} > bound {limit}"
                 )
             floor = constraints.get("min_seeding_gain_reduction")
-            if floor is not None and entry["seeding_gain_reduction"] < floor:
-                failures.append(
-                    f"{workload_name}/{label}: seeding_gain_reduction "
-                    f"{entry['seeding_gain_reduction']} < bound {floor}"
-                )
+            if floor is not None:
+                reduction = entry.get("seeding_gain_reduction")
+                if reduction is None:
+                    # Overlap-only entries (pokec-sparse) have no full
+                    # scan to compare against — a bound on them is a
+                    # bounds-file mistake, reported, not a crash.
+                    failures.append(
+                        f"{workload_name}/{label}: seeding_gain_reduction "
+                        f"not measured (overlap-only entry) but bounded "
+                        f">= {floor}"
+                    )
+                elif reduction < floor:
+                    failures.append(
+                        f"{workload_name}/{label}: seeding_gain_reduction "
+                        f"{reduction} < bound {floor}"
+                    )
             limit = constraints.get("max_total_gain_computations")
             if limit is not None and overlap["total_gain_computations"] > limit:
                 failures.append(
@@ -401,6 +589,23 @@ def check_bounds(
                 failures.append(
                     f"{workload_name}/{label}: dirty_revalidations "
                     f"{overlap.get('dirty_revalidations', 0)} > bound {limit}"
+                )
+            floor = constraints.get("min_mask_memory_reduction")
+            if floor is not None:
+                estimate = entry.get("bigint_mask_bytes_estimate", 0)
+                peak = overlap.get("mask_peak_bytes", 0)
+                reduction = estimate / peak if peak else 0.0
+                if reduction < floor:
+                    failures.append(
+                        f"{workload_name}/{label}: mask memory reduction "
+                        f"{reduction:.2f}x (bigint estimate {estimate} / "
+                        f"peak {peak}) < bound {floor}"
+                    )
+            expected = constraints.get("require_mask_backend")
+            if expected is not None and overlap.get("mask_backend") != expected:
+                failures.append(
+                    f"{workload_name}/{label}: mask_backend "
+                    f"{overlap.get('mask_backend')!r} != required {expected!r}"
                 )
     return failures
 
@@ -431,6 +636,15 @@ def add_bench_arguments(parser: argparse.ArgumentParser) -> None:
         "entries of the output file for other families are kept",
     )
     parser.add_argument(
+        "--mask-backend",
+        dest="mask_backend",
+        choices=MASK_BACKENDS,
+        default="auto",
+        help="position-mask representation for every workload "
+        "(pokec-sparse upgrades auto/bigint to chunked); counters are "
+        "bit-exact across backends, so bounds apply unchanged",
+    )
+    parser.add_argument(
         "--check",
         default=None,
         metavar="BOUNDS_JSON",
@@ -441,7 +655,11 @@ def add_bench_arguments(parser: argparse.ArgumentParser) -> None:
 def execute(args) -> int:
     """Run the suite per parsed ``args`` (see :func:`add_bench_arguments`)."""
     fresh = run_suite(
-        quick=args.quick, seed=args.seed, log=print, only=args.workloads
+        quick=args.quick,
+        seed=args.seed,
+        log=print,
+        only=args.workloads,
+        mask_backend=args.mask_backend,
     )
     document = fresh
     if args.workloads:

@@ -1,0 +1,516 @@
+"""Equivalence and edge-case suite for the position-mask backends.
+
+The contract (``repro.core.masks``): every backend — ``bigint``,
+``chunked``, ``numpy`` — is bit-exact interchangeable.  Mining-visible
+quantities are exact integers/booleans, so merge sequences, database
+snapshots and DL floats must be identical whichever backend the
+database was built on.  This file pins that contract three ways:
+
+* backend-op unit tests against the bigint reference, with the chunk
+  boundaries exercised explicitly (bit 0, last/first bit of a chunk,
+  empty overlaps);
+* randomized whole-pipeline equivalence on the existing generators
+  (identical merge sequences, snapshots and DL floats across backends,
+  for both search variants);
+* hypothesis property tests over random bit sets and random graphs.
+"""
+
+import math
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.config import CSPMConfig
+from repro.core.code_table import CoreCodeTable, StandardCodeTable
+from repro.core.cspm_basic import run_basic
+from repro.core.cspm_partial import run_partial
+from repro.core.inverted_db import InvertedDatabase
+from repro.core.masks import (
+    AUTO_CHUNKED_MIN_BITS,
+    MASK_BACKENDS,
+    BigintMaskBackend,
+    ChunkedMaskBackend,
+    bigint_mask_bytes,
+    get_backend,
+    resolve_backend,
+)
+from repro.core.masks.numpy_chunked import NumpyChunkedMaskBackend
+from repro.core.mdl import description_length, initial_description_length
+from repro.errors import ConfigError, MiningError
+from repro.graphs.generators import PlantedAStar, planted_astar_graph
+
+BACKEND_NAMES = ("bigint", "chunked", "numpy")
+
+# Small-chunk variants stress the chunk boundaries far harder than the
+# production defaults on the same bit ranges.
+ALL_BACKENDS = [
+    BigintMaskBackend(),
+    ChunkedMaskBackend(),
+    ChunkedMaskBackend(chunk_bits=64),
+    NumpyChunkedMaskBackend(),
+    NumpyChunkedMaskBackend(chunk_bits=64),
+]
+
+# Bits chosen to land on every interesting boundary of 64/256/1024-bit
+# chunks: bit 0, last bit of a chunk, first bit of the next.
+BOUNDARY_BITS = (0, 1, 63, 64, 65, 255, 256, 257, 511, 1023, 1024, 1025)
+
+
+def ref_mask(bits):
+    out = 0
+    for bit in bits:
+        out |= 1 << bit
+    return out
+
+
+@pytest.fixture(params=ALL_BACKENDS, ids=lambda b: repr(b))
+def backend(request):
+    return request.param
+
+
+class TestBackendOps:
+    """Each backend against the plain-int reference semantics."""
+
+    def test_empty_is_empty(self, backend):
+        empty = backend.empty()
+        assert backend.is_empty(empty)
+        assert backend.popcount(empty) == 0
+        assert list(backend.iter_bits(empty)) == []
+        assert not backend.union_overlaps(empty, empty)
+
+    def test_make_iter_roundtrip_on_boundaries(self, backend):
+        mask = backend.make(BOUNDARY_BITS)
+        assert list(backend.iter_bits(mask)) == sorted(BOUNDARY_BITS)
+        assert backend.popcount(mask) == len(BOUNDARY_BITS)
+        for bit in BOUNDARY_BITS:
+            assert backend.has_bit(mask, bit)
+        for bit in (2, 62, 66, 254, 258, 1022, 1026):
+            assert not backend.has_bit(mask, bit)
+
+    def test_set_bit_matches_make(self, backend):
+        mask = backend.empty()
+        for bit in BOUNDARY_BITS:
+            mask = backend.set_bit(mask, bit)
+            mask = backend.set_bit(mask, bit)  # idempotent
+        assert backend.equals(mask, backend.make(BOUNDARY_BITS))
+
+    @pytest.mark.parametrize(
+        "bits_a, bits_b",
+        [
+            ((0,), (0,)),
+            ((0,), (1,)),
+            ((63,), (64,)),
+            ((255, 256), (256, 257)),
+            ((0, 64, 1024), (64,)),
+            ((5, 70, 300), (1025,)),
+            ((), (0, 63)),
+        ],
+    )
+    def test_binary_ops_match_int_reference(self, backend, bits_a, bits_b):
+        a, b = backend.make(bits_a), backend.make(bits_b)
+        ra, rb = ref_mask(bits_a), ref_mask(bits_b)
+        assert backend.union_overlaps(a, b) == bool(ra & rb)
+        assert backend.and_count(a, b) == (ra & rb).bit_count()
+        assert list(backend.iter_bits(backend.or_(a, b))) == [
+            i for i in range(1100) if (ra | rb) >> i & 1
+        ]
+        assert list(backend.iter_bits(backend.and_(a, b))) == [
+            i for i in range(1100) if (ra & rb) >> i & 1
+        ]
+        assert list(backend.iter_bits(backend.andnot(a, b))) == [
+            i for i in range(1100) if (ra & ~rb) >> i & 1
+        ]
+
+    def test_empty_overlap_at_chunk_edges(self, backend):
+        # Adjacent bits in different chunks must not report overlap.
+        left = backend.make((63, 255, 1023))
+        right = backend.make((64, 256, 1024))
+        assert not backend.union_overlaps(left, right)
+        assert backend.and_count(left, right) == 0
+        assert backend.is_empty(backend.and_(left, right))
+
+    def test_ops_are_pure(self, backend):
+        a = backend.make((1, 64, 300))
+        b = backend.make((64, 500))
+        before = list(backend.iter_bits(a)), list(backend.iter_bits(b))
+        backend.or_(a, b)
+        backend.and_(a, b)
+        backend.andnot(a, b)
+        backend.union_overlaps(a, b)
+        backend.and_count(a, b)
+        assert (list(backend.iter_bits(a)), list(backend.iter_bits(b))) == before
+
+    def test_bit_span_matches_int_bit_length(self, backend):
+        assert backend.bit_span(backend.empty()) == 0
+        for bits in ((0,), (63,), (64,), (255, 256), (5, 70, 1025)):
+            mask = backend.make(bits)
+            assert backend.bit_span(mask) == ref_mask(bits).bit_length()
+
+    def test_mask_bytes_positive_and_monotone_in_chunks(self, backend):
+        sparse = backend.make((3,))
+        spread = backend.make((3, 1024, 4096))
+        assert backend.mask_bytes(backend.empty()) >= 0
+        assert backend.mask_bytes(sparse) > 0
+        assert backend.mask_bytes(spread) >= backend.mask_bytes(sparse)
+
+    @given(
+        bits_a=st.sets(st.integers(min_value=0, max_value=1100), max_size=60),
+        bits_b=st.sets(st.integers(min_value=0, max_value=1100), max_size=60),
+    )
+    @settings(
+        max_examples=60,
+        deadline=None,
+        # The backend fixture is a stateless strategy object; reusing
+        # it across generated examples is exactly the production usage.
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    def test_property_ops_match_reference(self, backend, bits_a, bits_b):
+        a, b = backend.make(bits_a), backend.make(bits_b)
+        ra, rb = ref_mask(bits_a), ref_mask(bits_b)
+        assert backend.popcount(a) == ra.bit_count()
+        assert backend.and_count(a, b) == (ra & rb).bit_count()
+        assert backend.union_overlaps(a, b) == bool(ra & rb)
+        assert backend.popcount(backend.or_(a, b)) == (ra | rb).bit_count()
+        assert backend.popcount(backend.andnot(a, b)) == (ra & ~rb).bit_count()
+        assert list(backend.iter_bits(a)) == sorted(bits_a)
+
+
+class TestRegistry:
+    def test_names_round_trip(self):
+        for name in ("bigint", "chunked", "numpy"):
+            assert get_backend(name).name == name
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(MiningError, match="unknown mask backend"):
+            get_backend("roaring")
+
+    def test_auto_resolves_by_size(self):
+        assert resolve_backend("auto", 100).name == "bigint"
+        assert resolve_backend("auto", AUTO_CHUNKED_MIN_BITS).name == "chunked"
+        assert resolve_backend("auto", None).name == "bigint"
+        assert resolve_backend("numpy", 100).name == "numpy"
+
+    def test_chunk_width_validation(self):
+        with pytest.raises(ValueError):
+            ChunkedMaskBackend(chunk_bits=100)
+        with pytest.raises(ValueError):
+            NumpyChunkedMaskBackend(chunk_bits=70)
+
+    def test_bigint_reference_estimate(self):
+        # 30 bits per 4-byte digit on top of the 28-byte header.
+        assert bigint_mask_bytes(1) == 32
+        assert bigint_mask_bytes(30) == 32
+        assert bigint_mask_bytes(31) == 36
+        assert bigint_mask_bytes(1_600_000) > 200_000
+
+
+def random_graph(seed, num_vertices=45, num_edges=110):
+    graph, _ = planted_astar_graph(
+        num_vertices,
+        num_edges,
+        [
+            PlantedAStar("p", ("q", "r"), strength=0.9),
+            PlantedAStar("s", ("t",), strength=0.85),
+        ],
+        noise_values=("n1", "n2", "n3"),
+        noise_rate=0.25,
+        seed=seed,
+    )
+    return graph
+
+
+def setup(graph, backend_name):
+    return (
+        InvertedDatabase.from_graph(graph, mask_backend=get_backend(backend_name)),
+        StandardCodeTable.from_graph(graph),
+        CoreCodeTable.singletons_from_graph(graph),
+    )
+
+
+def run_key(db, trace):
+    return (
+        [t.merged_pair for t in trace.iterations],
+        [t.total_dl_bits for t in trace.iterations],
+        trace.final_dl_bits,
+        trace.initial_candidate_gains,
+        trace.total_gain_computations,
+        trace.refreshes_skipped,
+        trace.dirty_revalidations,
+        db.snapshot(),
+    )
+
+
+class TestMiningEquivalence:
+    """Identical merge sequences/snapshots/DL floats on every backend."""
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_partial_lazy_bit_exact_across_backends(self, seed):
+        graph = random_graph(seed)
+        reference = None
+        for name in BACKEND_NAMES:
+            db, standard, core = setup(graph, name)
+            trace = run_partial(db, standard, core)
+            db.validate(graph)
+            key = run_key(db, trace)
+            if reference is None:
+                reference = key
+            else:
+                assert key == reference, f"backend {name} diverged"
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_basic_bit_exact_across_backends(self, seed):
+        graph = random_graph(seed)
+        reference = None
+        for name in BACKEND_NAMES:
+            db, standard, core = setup(graph, name)
+            trace = run_basic(db, standard, core)
+            key = run_key(db, trace)
+            if reference is None:
+                reference = key
+            else:
+                assert key == reference, f"backend {name} diverged"
+
+    def test_merge_outcomes_equivalent(self):
+        graph = random_graph(11)
+        dbs = {name: setup(graph, name)[0] for name in BACKEND_NAMES}
+        ref_db = dbs["bigint"]
+        for _step in range(5):
+            # Re-pick after every merge: earlier merges may have
+            # removed a leafset a pre-selected pair relied on.
+            ordered = ref_db.interner.order(ref_db.leafsets())
+            pair = next(
+                (
+                    (a, b)
+                    for i, a in enumerate(ordered)
+                    for b in ordered[i + 1 :]
+                    if ref_db.common_coresets(a, b)
+                ),
+                None,
+            )
+            if pair is None:
+                break
+            leaf_x, leaf_y = pair
+            outcomes = {
+                name: db.merge(leaf_x, leaf_y) for name, db in dbs.items()
+            }
+            reference = outcomes["bigint"]
+            for name, outcome in outcomes.items():
+                assert outcome.stats == reference.stats, name
+                assert outcome.removed_leafsets == reference.removed_leafsets
+                decoded = {
+                    leaf: dbs[name]._to_vertices(mask)
+                    for leaf, mask in outcome.touched_row_unions.items()
+                }
+                ref_decoded = {
+                    leaf: ref_db._to_vertices(mask)
+                    for leaf, mask in reference.touched_row_unions.items()
+                }
+                assert decoded == ref_decoded, name
+        for name, db in dbs.items():
+            assert db.snapshot() == ref_db.snapshot(), name
+
+
+VALUES = ["a", "b", "c", "d", "e"]
+
+
+@st.composite
+def attributed_graphs(draw, max_vertices=10):
+    from repro.graphs.attributed_graph import AttributedGraph
+
+    n = draw(st.integers(min_value=2, max_value=max_vertices))
+    graph = AttributedGraph()
+    for vertex in range(n):
+        graph.add_vertex(vertex)
+        size = draw(st.integers(min_value=1, max_value=3))
+        values = draw(
+            st.sets(st.sampled_from(VALUES), min_size=size, max_size=size)
+        )
+        graph.set_attributes(vertex, values)
+    for vertex in range(1, n):
+        graph.add_edge(vertex - 1, vertex)
+    extra = draw(st.integers(min_value=0, max_value=n))
+    for _ in range(extra):
+        u = draw(st.integers(min_value=0, max_value=n - 1))
+        v = draw(st.integers(min_value=0, max_value=n - 1))
+        if u != v:
+            graph.add_edge(u, v)
+    return graph
+
+
+@given(graph=attributed_graphs())
+@settings(
+    max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+def test_property_backends_mine_identically(graph):
+    reference = None
+    for name in BACKEND_NAMES:
+        db, standard, core = setup(graph, name)
+        trace = run_partial(db, standard, core)
+        key = run_key(db, trace)
+        if reference is None:
+            reference = key
+        else:
+            assert key == reference, f"backend {name} diverged"
+
+
+class TestInitialDescriptionLength:
+    """Satellite: the DL pass folded into database construction."""
+
+    @pytest.mark.parametrize("name", BACKEND_NAMES)
+    def test_matches_full_recompute_exactly(self, name):
+        graph = random_graph(2)
+        db, standard, core = setup(graph, name)
+        folded = initial_description_length(db, standard, core)
+        recomputed = description_length(db, standard, core)
+        # Byte-identical, not approx: the construction-order record is
+        # the same term order as the global sort.
+        assert folded == recomputed
+
+    def test_row_order_matches_global_sort(self, paper_graph):
+        from repro.core.mdl import _sorted_rows
+
+        db = InvertedDatabase.from_graph(paper_graph)
+        order = db.initial_row_order()
+        assert order is not None
+        assert [(core, leaf) for core, leaf, _f in _sorted_rows(db)] == order
+
+    def test_record_dropped_on_merge(self, paper_graph):
+        db = InvertedDatabase.from_graph(paper_graph)
+        standard = StandardCodeTable.from_graph(paper_graph)
+        core = CoreCodeTable.singletons_from_graph(paper_graph)
+        leafsets = db.interner.order(db.leafsets())
+        pair = next(
+            (a, b)
+            for i, a in enumerate(leafsets)
+            for b in leafsets[i + 1 :]
+            if db.common_coresets(a, b)
+        )
+        db.merge(*pair)
+        assert db.initial_row_order() is None
+        # Fallback path still agrees with the reference recompute.
+        assert initial_description_length(db, standard, core) == (
+            description_length(db, standard, core)
+        )
+
+    def test_copy_preserves_record(self, paper_graph):
+        db = InvertedDatabase.from_graph(paper_graph)
+        clone = db.copy()
+        assert clone.initial_row_order() == db.initial_row_order()
+
+
+class TestVertexBitTable:
+    """Satellite: one precomputed vertex order shared by all masks."""
+
+    def test_precomputed_and_exposed(self, paper_graph):
+        db = InvertedDatabase.from_graph(paper_graph)
+        table = db.vertex_bit_table()
+        assert db.num_position_bits == len(table)
+        assert sorted(table.values()) == list(range(len(table)))
+        # Decoding any row goes through the shared order.
+        for core, leaf, positions in db.rows():
+            mask = db._rows[(core, leaf)]
+            assert {
+                bit for bit in db.mask_backend.iter_bits(mask)
+            } == {table[v] for v in positions}
+
+    def test_vertices_without_leaves_get_no_bit(self):
+        from repro.graphs.attributed_graph import AttributedGraph
+
+        graph = AttributedGraph.from_edges(
+            edges=[(0, 1)], attributes={0: {"a"}, 1: {"b"}, 2: {"c"}}
+        )
+        db = InvertedDatabase.from_graph(graph)
+        # Vertex 2 is isolated: no neighbour values, no bit.
+        assert 2 not in db.vertex_bit_table()
+
+    def test_num_leafsets_matches_list(self, paper_db):
+        assert paper_db.num_leafsets == len(paper_db.leafsets())
+
+
+class TestMemoryAccounting:
+    def test_chunked_beats_bigint_estimate_on_sparse_masks(self):
+        # A sparse community-structured database at modest width: the
+        # chunked representation must undercut the whole-graph bigint
+        # estimate (the pokec-sparse acceptance ratio, in miniature).
+        from repro.perf.suite import pokec_sparse_graph
+
+        graph = pokec_sparse_graph(200)  # 5000 vertices
+        db = InvertedDatabase.from_graph(
+            graph, mask_backend=get_backend("chunked")
+        )
+        assert db.mask_memory_bytes() * 2 < db.bigint_mask_bytes_estimate()
+
+    def test_memory_estimates_positive(self, paper_graph):
+        db = InvertedDatabase.from_graph(paper_graph)
+        assert db.mask_memory_bytes() > 0
+        assert db.bigint_mask_bytes_estimate() > 0
+
+    @pytest.mark.parametrize("name", ("chunked", "numpy"))
+    def test_bigint_estimate_is_what_bigint_actually_pays(self, name):
+        # The reduction ratio's denominator must be honest: the
+        # estimate computed on a chunked database equals the measured
+        # mask bytes of the identical database built on bigint masks.
+        from repro.perf.suite import pokec_sparse_graph
+
+        graph = pokec_sparse_graph(20)
+        sparse = InvertedDatabase.from_graph(
+            graph, mask_backend=get_backend(name)
+        )
+        bigint = InvertedDatabase.from_graph(
+            graph, mask_backend=get_backend("bigint")
+        )
+        assert sparse.bigint_mask_bytes_estimate() == bigint.mask_memory_bytes()
+        assert bigint.bigint_mask_bytes_estimate() == bigint.mask_memory_bytes()
+
+
+class TestConfigIntegration:
+    def test_mask_backend_field_validated(self):
+        assert CSPMConfig().mask_backend == "auto"
+        assert CSPMConfig(mask_backend="chunked").mask_backend == "chunked"
+        with pytest.raises(ConfigError, match="mask_backend"):
+            CSPMConfig(mask_backend="roaring")
+        assert CSPMConfig.__dataclass_fields__.keys() >= {"mask_backend"}
+        assert set(MASK_BACKENDS) == {"auto", "bigint", "chunked", "numpy"}
+
+    def test_default_backend_not_serialised(self):
+        # Schema-v1 result documents (and the CLI golden file) must not
+        # grow a field for an execution-engine default.
+        assert "mask_backend" not in CSPMConfig().to_dict()
+        assert CSPMConfig.from_dict(CSPMConfig().to_dict()) == CSPMConfig()
+
+    def test_non_default_backend_round_trips(self):
+        config = CSPMConfig(mask_backend="numpy")
+        document = config.to_dict()
+        assert document["mask_backend"] == "numpy"
+        assert CSPMConfig.from_dict(document) == config
+
+    @pytest.mark.parametrize("name", BACKEND_NAMES)
+    def test_facade_results_identical(self, name, paper_graph):
+        from repro import CSPM
+
+        reference = CSPM().fit(paper_graph)
+        mined = CSPM(mask_backend=name).fit(paper_graph)
+        assert mined.inverted_db.mask_backend.name == name
+        # The mined model is identical field-for-field; only the
+        # config's backend record may differ.
+        assert [star.to_dict() for star in mined.astars] == [
+            star.to_dict() for star in reference.astars
+        ]
+        assert mined.trace.final_dl_bits == reference.trace.final_dl_bits
+        assert math.isclose(
+            mined.final_dl.total_bits, reference.final_dl.total_bits
+        )
+
+    def test_cli_exposes_backend_flag(self, tmp_path, capsys):
+        import json
+
+        from repro.cli import main
+        from repro.graphs.builders import paper_running_example
+        from repro.graphs.io import save_json
+
+        path = tmp_path / "graph.json"
+        save_json(paper_running_example(), str(path))
+        assert main(["mine", str(path), "--mask-backend", "chunked", "--json"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["config"]["mask_backend"] == "chunked"

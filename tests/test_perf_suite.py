@@ -12,8 +12,10 @@ import pytest
 from repro.perf.suite import (
     SCHEMA_VERSION,
     _measure_size,
+    _pokec_backend,
     check_bounds,
     merge_into,
+    pokec_sparse_graph,
     run_suite,
     sparse_scaling_graph,
     summarize,
@@ -46,8 +48,8 @@ class TestMeasureSize:
         assert tiny_entry["runs"]["partial/overlap"]["peak_queue_size"] >= 1
         assert tiny_entry["runs"]["basic/overlap"]["peak_queue_size"] == 0
 
-    def test_schema_v2_lazy_counters(self, tiny_entry):
-        assert SCHEMA_VERSION == 2
+    def test_schema_v3_lazy_counters(self, tiny_entry):
+        assert SCHEMA_VERSION == 3
         partial = tiny_entry["runs"]["partial/overlap"]
         # Partial runs use (and record) the library default scope, and
         # the bound-driven refresh skips at least something on any
@@ -59,6 +61,40 @@ class TestMeasureSize:
         assert "update_scope" not in basic
         assert basic["refreshes_skipped"] == 0
         assert basic["dirty_revalidations"] == 0
+
+    def test_schema_v3_mask_fields(self, tiny_entry):
+        # The tiny graph resolves "auto" to bigint masks; every run
+        # records the backend it executed on and its peak mask bytes,
+        # and the entry carries the whole-graph bigint reference.
+        assert tiny_entry["mask_backend"] == "bigint"
+        assert tiny_entry["bigint_mask_bytes_estimate"] > 0
+        for run in tiny_entry["runs"].values():
+            assert run["mask_backend"] == "bigint"
+            assert run["mask_peak_bytes"] > 0
+
+    def test_counters_identical_across_mask_backends(self):
+        graph = sparse_scaling_graph(3)
+        structural = (
+            "initial_candidate_gains",
+            "total_gain_computations",
+            "peak_queue_size",
+            "refreshes_skipped",
+            "dirty_revalidations",
+            "iterations",
+            "final_dl_bits",
+        )
+        entries = {
+            backend: _measure_size(
+                graph, "communities=3", run_basic_too=False, mask_backend=backend
+            )
+            for backend in ("bigint", "chunked", "numpy")
+        }
+        reference = entries["bigint"]["runs"]["partial/overlap"]
+        for backend, entry in entries.items():
+            assert entry["mask_backend"] == backend
+            run = entry["runs"]["partial/overlap"]
+            for field in structural:
+                assert run[field] == reference[field], (backend, field)
 
     def test_bit_exactness_across_sources(self, tiny_entry):
         runs = tiny_entry["runs"]
@@ -180,6 +216,52 @@ class TestBenchCli:
         capsys.readouterr()
 
 
+class TestPokecSparse:
+    """The paper-scale family (measured tiny here; CI runs the smoke)."""
+
+    @pytest.fixture(scope="class")
+    def pokec_entry(self):
+        graph = pokec_sparse_graph(4)
+        return _measure_size(
+            graph,
+            "communities=4",
+            run_basic_too=False,
+            mask_backend="chunked",
+            pair_sources=("overlap",),
+        )
+
+    def test_backend_upgrade_rule(self):
+        assert _pokec_backend("auto") == "chunked"
+        assert _pokec_backend("bigint") == "chunked"
+        assert _pokec_backend("chunked") == "chunked"
+        assert _pokec_backend("numpy") == "numpy"
+
+    def test_overlap_only_runs(self, pokec_entry):
+        assert set(pokec_entry["runs"]) == {"partial/overlap"}
+        assert pokec_entry["seeding_gain_reduction"] is None
+        assert pokec_entry["partial_wall_speedup"] is None
+        assert pokec_entry["basic_wall_speedup"] is None
+
+    def test_chunked_masks_recorded(self, pokec_entry):
+        run = pokec_entry["runs"]["partial/overlap"]
+        assert pokec_entry["mask_backend"] == "chunked"
+        assert run["mask_backend"] == "chunked"
+        assert run["mask_peak_bytes"] > 0
+        assert pokec_entry["bigint_mask_bytes_estimate"] > 0
+
+    def test_summary_handles_null_ratios(self, pokec_entry):
+        text = summarize(
+            {"workloads": [{"workload": "pokec-sparse", "series": [pokec_entry]}]}
+        )
+        assert "pokec-sparse" in text and "chunked" in text
+
+    def test_deterministic(self):
+        first = pokec_sparse_graph(3)
+        second = pokec_sparse_graph(3)
+        assert first.num_vertices == second.num_vertices
+        assert sorted(first.edges()) == sorted(second.edges())
+
+
 class TestSparseScalingGraph:
     def test_deterministic(self):
         first = sparse_scaling_graph(3)
@@ -205,12 +287,15 @@ class TestCheckBounds:
                         {
                             "label": "communities=48",
                             "seeding_gain_reduction": reduction,
+                            "bigint_mask_bytes_estimate": 1000,
                             "runs": {
                                 "partial/overlap": {
                                     "initial_candidate_gains": seed_gains,
                                     "total_gain_computations": total,
                                     "refreshes_skipped": skipped,
                                     "dirty_revalidations": dirty,
+                                    "mask_backend": "chunked",
+                                    "mask_peak_bytes": 100,
                                 }
                             },
                         }
@@ -271,6 +356,48 @@ class TestCheckBounds:
         }
         assert check_bounds(self.document(), bounds) == []
 
+    def test_seeding_bound_on_overlap_only_entry_reports_not_crashes(self):
+        # pokec-sparse entries are overlap-only: seeding_gain_reduction
+        # is None.  A (mistaken) bound on it must surface as a failure
+        # message, not a TypeError.
+        document = self.document()
+        entry = document["workloads"][0]["series"][0]
+        entry["seeding_gain_reduction"] = None
+        bounds = {
+            "sparse-scaling": {
+                "communities=48": {"min_seeding_gain_reduction": 2.0}
+            }
+        }
+        failures = check_bounds(document, bounds)
+        assert len(failures) == 1 and "not measured" in failures[0]
+
+    def test_mask_memory_reduction_bound(self):
+        # The fixture document holds a 10x reduction (1000 / 100).
+        bounds = {
+            "sparse-scaling": {
+                "communities=48": {"min_mask_memory_reduction": 5.0}
+            }
+        }
+        assert check_bounds(self.document(), bounds) == []
+        bounds["sparse-scaling"]["communities=48"][
+            "min_mask_memory_reduction"
+        ] = 20.0
+        failures = check_bounds(self.document(), bounds)
+        assert len(failures) == 1 and "mask memory reduction" in failures[0]
+
+    def test_required_mask_backend(self):
+        bounds = {
+            "sparse-scaling": {
+                "communities=48": {"require_mask_backend": "chunked"}
+            }
+        }
+        assert check_bounds(self.document(), bounds) == []
+        bounds["sparse-scaling"]["communities=48"][
+            "require_mask_backend"
+        ] = "numpy"
+        failures = check_bounds(self.document(), bounds)
+        assert len(failures) == 1 and "mask_backend" in failures[0]
+
     def test_missing_workload_or_series_reported(self):
         bounds = {
             "nope": {"x": {"max_initial_candidate_gains": 1}},
@@ -285,4 +412,9 @@ class TestCheckBounds:
         path = Path(__file__).parents[1] / "benchmarks" / "perf_bounds.json"
         bounds = json.loads(path.read_text())
         constrained = [k for k in bounds if not k.startswith("__")]
-        assert constrained == ["sparse-scaling"]
+        assert constrained == ["sparse-scaling", "pokec-sparse"]
+        pokec = bounds["pokec-sparse"]["communities=800"]
+        # The acceptance-criterion floor: chunked masks must stay at
+        # least 5x below the whole-graph bigint estimate.
+        assert pokec["min_mask_memory_reduction"] >= 5.0
+        assert pokec["require_mask_backend"] == "chunked"
