@@ -65,7 +65,7 @@ Quickstart::
 """
 
 from repro.batch import BatchResult, BatchRun, fit_many
-from repro.config import MASK_BACKENDS, CSPMConfig
+from repro.config import CONSTRUCTIONS, MASK_BACKENDS, CSPMConfig
 from repro.core.astar import AStar
 from repro.core.masks import MaskBackend
 from repro.core.miner import CSPM
@@ -80,7 +80,7 @@ from repro.errors import (
 from repro.graphs.attributed_graph import AttributedGraph
 from repro.pipeline import MiningPipeline, PipelineContext, PipelineStage
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "AStar",
@@ -88,6 +88,7 @@ __all__ = [
     "AttributedGraph",
     "BatchResult",
     "BatchRun",
+    "CONSTRUCTIONS",
     "CSPM",
     "CSPMConfig",
     "CSPMResult",

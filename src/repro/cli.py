@@ -24,6 +24,7 @@ import sys
 from typing import List, Optional
 
 from repro.config import (
+    CONSTRUCTIONS,
     ENCODERS,
     MASK_BACKENDS,
     METHODS,
@@ -73,6 +74,23 @@ def _add_mine(subparsers) -> None:
         "picks bigint below the chunking threshold and sparse chunked "
         "bitmaps at paper scale; every backend mines the identical "
         "model",
+    )
+    parser.add_argument(
+        "--construction",
+        choices=CONSTRUCTIONS,
+        default="serial",
+        help="inverted-database build path (repro.core.construction): "
+        "'serial' runs the columnar batch builder in-process, "
+        "'partitioned' shards the coreset space over worker processes; "
+        "the built database (and the mined model) is identical",
+    )
+    parser.add_argument(
+        "--construction-workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes for --construction partitioned "
+        "(default: one per CPU)",
     )
     parser.add_argument(
         "--json",
@@ -163,6 +181,8 @@ def _mine_config(args) -> CSPMConfig:
         coreset_encoder=args.encoder,
         partial_update_scope=args.scope,
         mask_backend=args.mask_backend,
+        construction=args.construction,
+        construction_workers=args.construction_workers,
         **post_filters,
     )
 

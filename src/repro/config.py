@@ -31,6 +31,7 @@ UPDATE_SCOPES: Tuple[str, ...] = ("lazy", "exhaustive", "related")
 # Canonical backend-name registry; repro.core.masks re-exports it (this
 # module imports only repro.errors, so that direction is cycle-free).
 MASK_BACKENDS: Tuple[str, ...] = ("auto", "bigint", "chunked", "numpy")
+CONSTRUCTIONS: Tuple[str, ...] = ("serial", "partitioned")
 
 
 @dataclass(frozen=True)
@@ -78,6 +79,18 @@ class CSPMConfig:
         choice: every backend mines the bit-identical model, so the
         field is serialised only when non-default (schema-v1 result
         documents stay byte-stable).
+    construction:
+        How the inverted database is built: ``"serial"`` (default —
+        the in-process columnar batch builder) or ``"partitioned"``
+        (the coreset space is sharded over worker processes,
+        :mod:`repro.core.construction`, and the sub-databases merged).
+        Like ``mask_backend`` this is purely an execution-engine
+        choice — the built database is identical either way — so it
+        too is serialised only when non-default.
+    construction_workers:
+        Worker-process count for ``construction="partitioned"``
+        (``None`` = one per CPU, capped by the partition count).
+        Ignored under serial construction.
     """
 
     method: str = "partial"
@@ -88,6 +101,8 @@ class CSPMConfig:
     top_k: Optional[int] = None
     min_leafset: int = 1
     mask_backend: str = "auto"
+    construction: str = "serial"
+    construction_workers: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.method not in METHODS:
@@ -139,6 +154,20 @@ class CSPMConfig:
                 f"mask_backend must be one of {MASK_BACKENDS}, "
                 f"got {self.mask_backend!r}"
             )
+        if self.construction not in CONSTRUCTIONS:
+            raise ConfigError(
+                f"construction must be one of {CONSTRUCTIONS}, "
+                f"got {self.construction!r}"
+            )
+        if self.construction_workers is not None and not (
+            isinstance(self.construction_workers, int)
+            and not isinstance(self.construction_workers, bool)
+            and self.construction_workers >= 1
+        ):
+            raise ConfigError(
+                f"construction_workers must be None or a positive int, "
+                f"got {self.construction_workers!r}"
+            )
 
     # ------------------------------------------------------------------
     # Derivation and serialisation
@@ -154,15 +183,20 @@ class CSPMConfig:
     def to_dict(self) -> Dict[str, Any]:
         """A JSON-serialisable mapping of the config.
 
-        ``mask_backend`` is included only when non-default: the backend
-        never changes the mined output, and omitting the default keeps
-        existing schema-v1 result documents (including the CLI golden
-        file) byte-identical.  :meth:`from_dict` round-trips either
-        way.
+        The execution-engine knobs (``mask_backend``, ``construction``
+        and ``construction_workers``) are included only when
+        non-default: they never change the mined output, and omitting
+        the defaults keeps existing schema-v1 result documents
+        (including the CLI golden file) byte-identical.
+        :meth:`from_dict` round-trips either way.
         """
         document = dataclasses.asdict(self)
         if document["mask_backend"] == "auto":
             del document["mask_backend"]
+        if document["construction"] == "serial":
+            del document["construction"]
+        if document["construction_workers"] is None:
+            del document["construction_workers"]
         return document
 
     @classmethod

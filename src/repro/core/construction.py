@@ -1,0 +1,275 @@
+"""Coreset-partitioned construction of the inverted database.
+
+The inverted database is partitionable by coreset: every row key is
+``(coreset, leafset)`` and construction touches a row only from its own
+coreset's member loop, so disjoint coreset subsets can be built
+completely independently — the lever the ROADMAP names for paper-scale
+graphs (sharding the coreset space across processes).
+
+The flow mirrors the serial columnar builder exactly:
+
+1. ``InvertedDatabase._plan_construction`` runs once, in-process: the
+   coreset iteration order and the shared vertex->bit table are global
+   decisions and stay serial.
+2. :func:`partition_plan` slices the planned coreset order into
+   *contiguous*, member-count-balanced partitions.  Contiguity is what
+   makes the merge trivial and exact: concatenating the partitions'
+   construction-order row records reproduces the serial
+   ``_initial_row_order`` verbatim.
+3. Each worker process (:func:`_build_slice`) runs the same
+   ``_build_rows`` columnar phase on its slice against the shared
+   vertex->bit table.  The shared input state travels by ``fork``
+   inheritance where the platform provides it (Linux: zero pickling of
+   the plan/neighbour tables) and through the pool initializer
+   otherwise; results come back as compact columns — coresets as
+   indexes into the shared plan order, construction-time leafsets as
+   their single raw value — so the dominant reverse pickle is ints,
+   values and mask payloads, not half a million frozensets.
+4. :func:`_merge_partitions` stitches the sub-databases together in
+   partition order.  Coresets are disjoint across partitions, so rows
+   and coreset frequencies merge by plain assignment; only the
+   per-leafset union masks need combining (a leafset can span
+   partitions), which is a pure ``or_``.
+
+The merged database is **identical** to the serial build: same rows and
+frequencies, same interner order (interning happens after the merge, in
+repr-sorted order), same ``_initial_row_order``, same snapshots and
+initial description-length floats — the construction-equivalence suite
+asserts all of it, and CI re-runs the quick perf suite under
+``construction=partitioned`` against the serial counter bounds.
+
+Speed expectations: workers still pay one result pickle, so the
+partitioned path wins where phase-2 Python time dominates (paper-scale
+graphs, hundreds of thousands of rows) and is *not* the default —
+``construction="serial"`` stays the right choice for small graphs.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Hashable, List, Mapping, Optional, Tuple
+
+from repro.errors import MiningError
+
+Value = Hashable
+Vertex = Hashable
+LeafKey = FrozenSet[Value]
+CoreKey = FrozenSet[Value]
+RowKey = Tuple[CoreKey, LeafKey]
+Mask = object
+
+PlanItem = Tuple[CoreKey, List[Vertex]]
+
+#: Shared construction state in a worker process: ``(mask backend,
+#: planned (coreset, members) items, vertex -> neighbour values,
+#: vertex -> bit, leaf-value universe)``.  Set by fork inheritance or
+#: the pool initializer.
+_WORKER_STATE: Optional[Tuple] = None
+
+
+def _set_worker_state(state: Optional[Tuple]) -> None:
+    global _WORKER_STATE
+    _WORKER_STATE = state
+
+
+@dataclass
+class PartitionResult:
+    """One worker's sub-database, as compact picklable columns.
+
+    Coresets are encoded as indexes into the shared plan order and
+    construction-time leafsets (always singletons) as their raw value;
+    the merge re-attaches the shared key objects.  ``rows`` preserves
+    the worker's insertion order; ``row_order`` is the partition's
+    slice of the construction-order row record (already in global
+    sorted order because partitions are contiguous slices of the
+    sorted coreset iteration).
+    """
+
+    rows: List[Tuple[int, Value, Mask, int]]
+    row_order: List[Tuple[int, Value]]
+    core_freq: List[Tuple[int, int]]
+    leaf_unions: List[Tuple[Value, Mask]]
+
+
+def partition_plan(
+    plan: Mapping[CoreKey, List[Vertex]], num_partitions: int
+) -> List[List[PlanItem]]:
+    """Contiguous, member-count-balanced slices of the coreset order.
+
+    Balancing is by planned member count (the per-coreset work is
+    linear in members); slices stay contiguous so the concatenated
+    per-partition row orders equal the serial construction order.
+    """
+    items = list(plan.items())
+    parts = max(1, min(num_partitions, len(items)))
+    if parts == 1:
+        return [items]
+    partitions: List[List[PlanItem]] = []
+    current: List[PlanItem] = []
+    weight = 0
+    remaining_weight = sum(len(members) for _core, members in items)
+    for index, item in enumerate(items):
+        current.append(item)
+        weight += len(item[1])
+        remaining_weight -= len(item[1])
+        open_slots = parts - len(partitions) - 1
+        remaining_items = len(items) - index - 1
+        if open_slots and remaining_items >= open_slots:
+            # Close the partition once it holds its fair share of what
+            # is left (current partition included).
+            if weight * (open_slots + 1) >= weight + remaining_weight:
+                partitions.append(current)
+                current = []
+                weight = 0
+    if current:
+        partitions.append(current)
+    return partitions
+
+
+def _single_value(leaf: LeafKey) -> Value:
+    """The sole member of a construction-time (singleton) leafset."""
+    (value,) = leaf
+    return value
+
+
+def _build_slice(bounds: Tuple[int, int]) -> PartitionResult:
+    """Worker: columnar phase 2 on one contiguous coreset slice.
+
+    Top-level for pickling; reads the shared state installed by
+    :func:`_set_worker_state`.
+    """
+    from repro.core.inverted_db import InvertedDatabase
+
+    backend, items, neighbor_values, vertex_bit, universe = _WORKER_STATE
+    start, end = bounds
+    db = InvertedDatabase(mask_backend=backend)
+    db._vertex_bit = vertex_bit  # prefilled, read-only during _build_rows
+    db._build_rows(
+        dict(items[start:end]), neighbor_values.__getitem__, universe
+    )
+    core_index = {core: index for index, (core, _members) in enumerate(items)}
+    row_freq = db._row_freq
+    return PartitionResult(
+        rows=[
+            (core_index[core], _single_value(leaf), mask, row_freq[(core, leaf)])
+            for (core, leaf), mask in db._rows.items()
+        ],
+        row_order=[
+            (core_index[core], _single_value(leaf))
+            for core, leaf in db._initial_row_order or []
+        ],
+        core_freq=[
+            (core_index[core], total) for core, total in db._core_freq.items()
+        ],
+        leaf_unions=[
+            (_single_value(leaf), mask)
+            for leaf, mask in db._leaf_union.items()
+        ],
+    )
+
+
+def _merge_partitions(
+    db, items: List[PlanItem], results: List[PartitionResult]
+) -> None:
+    """Stitch the workers' sub-databases into ``db``, in order.
+
+    Coresets are disjoint across partitions (rows and coreset
+    frequencies assign), leafsets may span them (unions ``or_``).
+    """
+    masks = db._masks
+    rows = db._rows
+    row_freq = db._row_freq
+    leaf_to_cores = db._leaf_to_cores
+    core_to_leaves = db._core_to_leaves
+    core_freq = db._core_freq
+    leaf_union = db._leaf_union
+    or_ = masks.or_
+    leaf_key_of: Dict[Value, LeafKey] = {}
+
+    def leaf_of(value: Value) -> LeafKey:
+        leaf = leaf_key_of.get(value)
+        if leaf is None:
+            leaf = leaf_key_of[value] = frozenset((value,))
+        return leaf
+
+    row_order: List[RowKey] = []
+    for part in results:
+        for index, value, mask, frequency in part.rows:
+            core = items[index][0]
+            leaf = leaf_of(value)
+            key = (core, leaf)
+            rows[key] = mask
+            row_freq[key] = frequency
+            leaf_to_cores.setdefault(leaf, set()).add(core)
+            core_to_leaves.setdefault(core, set()).add(leaf)
+        for index, total in part.core_freq:
+            core_freq[items[index][0]] = total
+        for value, mask in part.leaf_unions:
+            leaf = leaf_of(value)
+            have = leaf_union.get(leaf)
+            leaf_union[leaf] = mask if have is None else or_(have, mask)
+        row_order.extend(
+            (items[index][0], leaf_of(value))
+            for index, value in part.row_order
+        )
+    db._initial_row_order = row_order
+
+
+def build_partitioned(
+    db,
+    plan: Mapping[CoreKey, List[Vertex]],
+    neighbor_values: Mapping[Vertex, FrozenSet[Value]],
+    workers: Optional[int] = None,
+) -> None:
+    """Run columnar phase 2 sharded over worker processes.
+
+    ``db`` must be freshly planned (``_plan_construction`` done, no
+    rows yet); on return it holds exactly what the serial
+    ``_build_rows`` would have produced.  With one partition (one
+    worker requested, or fewer coresets than workers) the serial path
+    runs in-process — no pool is spun up for degenerate inputs.
+    """
+    if workers is not None and workers < 1:
+        raise MiningError(
+            f"construction_workers must be >= 1, got {workers!r}"
+        )
+    requested = (
+        workers if workers is not None else (multiprocessing.cpu_count() or 1)
+    )
+    partitions = partition_plan(plan, requested)
+    universe: set = set()
+    for values in neighbor_values.values():
+        universe.update(values)
+    if len(partitions) <= 1:
+        db._build_rows(plan, neighbor_values.__getitem__, universe)
+        return
+    items: List[PlanItem] = list(plan.items())
+    bounds: List[Tuple[int, int]] = []
+    cursor = 0
+    for part in partitions:
+        bounds.append((cursor, cursor + len(part)))
+        cursor += len(part)
+    state = (db._masks, items, neighbor_values, db._vertex_bit, universe)
+    if "fork" in multiprocessing.get_all_start_methods():
+        # Fork children inherit the parent's memory: the plan, the
+        # neighbour-value table and the vertex->bit table reach the
+        # workers without a single pickle byte.
+        _set_worker_state(state)
+        try:
+            with ProcessPoolExecutor(
+                max_workers=len(bounds),
+                mp_context=multiprocessing.get_context("fork"),
+            ) as pool:
+                results = list(pool.map(_build_slice, bounds))
+        finally:
+            _set_worker_state(None)
+    else:  # pragma: no cover - non-fork platforms (Windows/macOS spawn)
+        with ProcessPoolExecutor(
+            max_workers=len(bounds),
+            initializer=_set_worker_state,
+            initargs=(state,),
+        ) as pool:
+            results = list(pool.map(_build_slice, bounds))
+    _merge_partitions(db, items, results)

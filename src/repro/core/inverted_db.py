@@ -17,7 +17,20 @@ chunks (``numpy``) — all bit-exact interchangeable, selected per
 database at construction.  The vertex->bit table is precomputed once
 per construction (in first-touch order over repr-sorted coresets, so
 community positions land in adjacent bits) and shared by every mask
-the database owns.
+the database owns; after construction the order is *frozen* (see
+:meth:`InvertedDatabase._bit_of`).
+
+Construction itself is **columnar**: phase 1 plans the iteration and
+assigns vertex bits, phase 2 collects, per ``(coreset, leafset)`` row,
+the full sorted bit list and materialises each coreset's rows with one
+bulk ``MaskBackend.make_batch`` call, deriving row/coreset frequencies
+from batch lengths instead of per-bit increments.  The per-triple
+reference path survives as :meth:`InvertedDatabase._from_graph_triples`
+(the equivalence suite's oracle).  Because rows are partitionable by
+coreset, ``from_graph(construction="partitioned")`` can also fan
+phase 2 out over worker processes (:mod:`repro.core.construction`)
+against the shared vertex->bit table, merging sub-databases into the
+exact serial result.
 
 Invariants maintained by this class (checked by :meth:`validate`):
 
@@ -33,6 +46,7 @@ from __future__ import annotations
 from bisect import insort
 from dataclasses import dataclass, field
 from typing import (
+    Callable,
     Dict,
     FrozenSet,
     Hashable,
@@ -45,10 +59,16 @@ from typing import (
     Tuple,
 )
 
+from repro.config import CONSTRUCTIONS
 from repro.core.candidates import LeafsetInterner, leafset_sort_key
 from repro.core.masks import MaskBackend, BigintMaskBackend, bigint_mask_bytes
 from repro.errors import MiningError
 from repro.graphs.attributed_graph import AttributedGraph
+
+try:  # Vectorised construction grouping; the pure path covers absence.
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy is baked into the image
+    _np = None
 
 Value = Hashable
 Vertex = Hashable
@@ -172,6 +192,10 @@ class InvertedDatabase:
         self._merge_index: int = 0
         self._core_epoch: Dict[CoreKey, int] = {}
         self._leaf_epoch: Dict[LeafKey, int] = {}
+        # ``from_graph`` freezes the vertex order once construction
+        # finishes: batch-built masks trust the precomputed table, so
+        # implicit lazy extension afterwards would desynchronise them.
+        self._vertex_order_frozen: bool = False
 
     # ------------------------------------------------------------------
     # Construction
@@ -183,6 +207,8 @@ class InvertedDatabase:
         graph: AttributedGraph,
         coreset_positions: Optional[Mapping[CoreKey, Iterable[Vertex]]] = None,
         mask_backend: Optional[MaskBackend] = None,
+        construction: str = "serial",
+        construction_workers: Optional[int] = None,
     ) -> "InvertedDatabase":
         """Build the initial inverted database from an attributed graph.
 
@@ -198,10 +224,70 @@ class InvertedDatabase:
         mask_backend:
             The position-mask representation (:mod:`repro.core.masks`);
             defaults to whole-graph bigint masks.
+        construction:
+            ``"serial"`` (default) builds rows in-process with the
+            columnar batch builder; ``"partitioned"`` shards the
+            coreset space over worker processes
+            (:mod:`repro.core.construction`) and merges the
+            sub-databases — the result is identical either way.
+        construction_workers:
+            Worker-process count for ``"partitioned"`` (``None`` =
+            one per CPU, capped by the partition count).
 
         Every initial row is ``(Sc, {leaf value})`` with positions the
         vertices where ``Sc`` holds and some neighbour carries the leaf
         value.
+        """
+        if construction not in CONSTRUCTIONS:
+            raise MiningError(
+                f"construction must be one of {CONSTRUCTIONS}, "
+                f"got {construction!r}"
+            )
+        db = cls(mask_backend=mask_backend)
+        if coreset_positions is None:
+            coreset_positions = {
+                frozenset([value]): vertices
+                for value, vertices in graph.value_positions().items()
+            }
+        if construction == "partitioned":
+            # Workers need the whole phase-1 product up front: the
+            # frozen vertex->bit table and the neighbour-value map are
+            # shared state every partition builds against.
+            plan, neighbor_values = db._plan_construction(
+                graph, coreset_positions
+            )
+            from repro.core.construction import build_partitioned
+
+            build_partitioned(
+                db, plan, neighbor_values, workers=construction_workers
+            )
+        else:
+            # Serial construction fuses phase 1's per-vertex work into
+            # the row loop: neighbour values are computed and the bit
+            # assigned on each vertex's first encounter, which happens
+            # in exactly the order the separate planning pass would
+            # have used (plan order, members in order, values-carrying
+            # vertices only).
+            plan = db._plan_coresets(coreset_positions)
+            db._build_rows(
+                plan, graph.neighbor_values, graph.attribute_values()
+            )
+        db._finalise_construction()
+        return db
+
+    @classmethod
+    def _from_graph_triples(
+        cls,
+        graph: AttributedGraph,
+        coreset_positions: Optional[Mapping[CoreKey, Iterable[Vertex]]] = None,
+        mask_backend: Optional[MaskBackend] = None,
+    ) -> "InvertedDatabase":
+        """The pre-columnar reference builder: one ``_add_position``
+        call per ``(coreset, vertex, leaf-value)`` triple.
+
+        Kept verbatim as the oracle the construction-equivalence suite
+        compares the batched and partitioned paths against; production
+        code always goes through :meth:`from_graph`.
         """
         db = cls(mask_backend=mask_backend)
         if coreset_positions is None:
@@ -209,38 +295,7 @@ class InvertedDatabase:
                 frozenset([value]): vertices
                 for value, vertices in graph.value_positions().items()
             }
-        # Pass 1: plan the (coreset, sorted members) iteration, compute
-        # each vertex's neighbour-value set exactly once (a vertex with
-        # k attribute values is visited k times) and precompute the
-        # vertex->bit table in the same first-touch order the row loop
-        # uses — one shared vertex order for every mask the database
-        # will ever hold.
-        plan: Dict[CoreKey, List[Vertex]] = {}
-        neighbor_values: Dict[Vertex, FrozenSet[Value]] = {}
-        vertex_bit = db._vertex_bit
-        vertex_ids = db._vertex_ids
-        for coreset, vertices in sorted(
-            coreset_positions.items(), key=lambda kv: _key_of(kv[0])
-        ):
-            core_key = frozenset(coreset)
-            if not core_key:
-                raise MiningError("empty coreset is not allowed")
-            members = sorted(vertices, key=repr)
-            plan.setdefault(core_key, []).extend(members)
-            for vertex in members:
-                values = neighbor_values.get(vertex)
-                if values is None:
-                    values = graph.neighbor_values(vertex)
-                    neighbor_values[vertex] = values
-                if values and vertex not in vertex_bit:
-                    vertex_bit[vertex] = len(vertex_ids)
-                    vertex_ids.append(vertex)
-        # Pass 2: build the rows.  Each coreset's rows are final when
-        # its iteration ends (no later vertex can touch them), so the
-        # per-coreset sorted row keys appended here reproduce the
-        # global (coreset, leafset) sort order without ever sorting all
-        # rows at once — ``mdl.initial_description_length`` accumulates
-        # the Eq. 1-8 terms over exactly this order.
+        plan, neighbor_values = db._plan_construction(graph, coreset_positions)
         row_order: List[RowKey] = []
         for core_key, members in plan.items():
             for vertex in members:
@@ -252,23 +307,465 @@ class InvertedDatabase:
                     (core_key, leaf) for leaf in sorted(leaves, key=_key_of)
                 )
         db._initial_row_order = row_order
-        # Intern the initial leafsets in repr-sorted order: first-sight
-        # ids then coincide with the repr ordering the seed used, so
-        # seeding-time tie-breaks are unchanged and independent of the
-        # (hash-seed-dependent) set iteration order above.
-        db._interner.intern_all(sorted(db._leaf_to_cores, key=_key_of))
-        intern = db._interner.intern
-        db._core_leaf_ids = {
-            core: sorted(intern(leaf) for leaf in leaves)
-            for core, leaves in db._core_to_leaves.items()
-        }
+        db._finalise_construction()
         return db
 
-    def _bit_of(self, vertex: Vertex) -> int:
-        """The vertex's bit index (``from_graph`` precomputes these;
-        direct ``_add_position`` callers still get lazy assignment)."""
+    def _plan_coresets(
+        self, coreset_positions: Mapping[CoreKey, Iterable[Vertex]]
+    ) -> Dict[CoreKey, List[Vertex]]:
+        """The (coreset, sorted members) iteration plan, keys sorted.
+
+        Pure ordering work — no per-vertex graph access; the serial
+        builder fuses that into the row loop, the partitioned builder
+        adds it in :meth:`_plan_construction`.
+        """
+        plan: Dict[CoreKey, List[Vertex]] = {}
+        for coreset, vertices in sorted(
+            coreset_positions.items(), key=lambda kv: _key_of(kv[0])
+        ):
+            core_key = frozenset(coreset)
+            if not core_key:
+                raise MiningError("empty coreset is not allowed")
+            members = sorted(vertices, key=repr)
+            if core_key in plan:
+                plan[core_key].extend(members)
+            else:
+                plan[core_key] = members
+        return plan
+
+    def _plan_construction(
+        self,
+        graph: AttributedGraph,
+        coreset_positions: Mapping[CoreKey, Iterable[Vertex]],
+    ) -> Tuple[Dict[CoreKey, List[Vertex]], Dict[Vertex, FrozenSet[Value]]]:
+        """Phase 1 with the per-vertex tables fully materialised.
+
+        Computes each vertex's neighbour-value set exactly once (a
+        vertex with k attribute values is visited k times) and
+        precomputes the vertex->bit table in the same first-touch order
+        the row loop uses — one shared vertex order for every mask the
+        database will ever hold, and the table every construction
+        worker builds against.  The serial builder skips this pass and
+        assigns bits lazily at first encounter, which produces the
+        identical table because the encounters happen in the same
+        order.
+        """
+        plan = self._plan_coresets(coreset_positions)
+        neighbor_values: Dict[Vertex, FrozenSet[Value]] = {}
+        vertex_bit = self._vertex_bit
+        vertex_ids = self._vertex_ids
+        for members in plan.values():
+            for vertex in members:
+                values = neighbor_values.get(vertex)
+                if values is None:
+                    values = graph.neighbor_values(vertex)
+                    neighbor_values[vertex] = values
+                if values and vertex not in vertex_bit:
+                    vertex_bit[vertex] = len(vertex_ids)
+                    vertex_ids.append(vertex)
+        return plan, neighbor_values
+
+    def _build_rows(
+        self,
+        plan: Mapping[CoreKey, List[Vertex]],
+        values_of: Callable[[Vertex], FrozenSet[Value]],
+        universe: Iterable[Value],
+    ) -> None:
+        """Phase 2, columnar: collect whole rows, materialise in bulk.
+
+        The grouping pass gathers every row's full sorted bit list
+        first; masks are then built with bulk ``make_batch`` calls and
+        the frequency bookkeeping (``_row_freq``/``_core_freq``) comes
+        from list lengths instead of per-bit increments.  Each
+        coreset's rows are final when its iteration ends (no later
+        vertex can touch them), so materialising rows in per-coreset
+        sorted-leaf order reproduces the global (coreset, leafset) sort
+        order without ever sorting all rows at once —
+        ``mdl.initial_description_length`` accumulates the Eq. 1-8
+        terms over exactly this order.
+
+        ``values_of`` maps a vertex to its neighbour-value set (called
+        once per vertex — the serial builder passes the graph method
+        directly, workers pass their precomputed table) and
+        ``universe`` must cover every value ``values_of`` can return (a
+        superset is fine: ordinals are internal, only their relative
+        order matters).
+
+        Grouping itself is vectorised when numpy is available (one
+        lexsort per block of whole coresets) and falls back to a pure
+        dict grouping otherwise; both produce the identical database.
+        """
+        # Dense leaf ordinals in global ``_key_of`` order (for the
+        # singleton leafsets of construction that is repr order of the
+        # value): the hot loops then handle small ints instead of
+        # frozensets, and row ordering reduces to int comparisons — no
+        # key function, no repr recomputation.
+        ordered_values = sorted(universe, key=repr)
+        ordinal_of = {value: i for i, value in enumerate(ordered_values)}
+        leaf_by_ordinal = [frozenset((value,)) for value in ordered_values]
+        if _np is not None:
+            self._build_rows_sorted(
+                plan, values_of, ordinal_of, leaf_by_ordinal
+            )
+        else:  # pragma: no cover - exercised via the forced-fallback tests
+            self._build_rows_pure(
+                plan, values_of, ordinal_of, leaf_by_ordinal
+            )
+
+    def _vertex_info(
+        self,
+        vertex: Vertex,
+        values_of: Callable[[Vertex], FrozenSet[Value]],
+        ordinal_of: Dict[Value, int],
+    ) -> Tuple:
+        """First-encounter record: ``(bit, ordinals, [bit]*k)`` or ``()``.
+
+        Lazy bit assignment happens here for the serial builder; the
+        encounters run in plan order over per-coreset member order, so
+        the table comes out exactly as ``_plan_construction`` would
+        precompute it (workers arrive with the table prefilled and
+        never take the assignment branch).
+        """
+        values = values_of(vertex)
+        if not values:
+            return ()
         bit = self._vertex_bit.get(vertex)
         if bit is None:
+            bit = len(self._vertex_ids)
+            self._vertex_bit[vertex] = bit
+            self._vertex_ids.append(vertex)
+        ordinals = [ordinal_of[value] for value in values]
+        return (bit, ordinals, [bit] * len(ordinals))
+
+    @staticmethod
+    def _dedupe_members(members: List[Vertex]) -> List[Vertex]:
+        """Drop duplicate vertices, preserving order (rare path).
+
+        Two ``coreset_positions`` keys can collapse to one frozenset
+        (and an iterable may repeat a vertex); row bit lists must stay
+        duplicate-free for batch lengths to be frequencies.
+        """
+        if len(members) > 1 and len(members) != len(set(members)):
+            seen: Set[Vertex] = set()
+            return [v for v in members if not (v in seen or seen.add(v))]
+        return members
+
+    #: Triples buffered between vectorised grouping flushes.  Blocks
+    #: end on coreset boundaries, so the cap bounds transient memory
+    #: (three int64 arrays plus the decoded bit list) without ever
+    #: splitting a coreset across flushes.
+    _GROUP_BLOCK_TRIPLES = 2_000_000
+
+    def _build_rows_sorted(
+        self,
+        plan: Mapping[CoreKey, List[Vertex]],
+        values_of: Callable[[Vertex], FrozenSet[Value]],
+        ordinal_of: Dict[Value, int],
+        leaf_by_ordinal: List[LeafKey],
+    ) -> None:
+        """Vectorised grouping: flat (core, leaf, bit) triple columns,
+        one lexsort per block, rows read off the group boundaries.
+
+        The collect loop does three C-level ``extend`` calls per
+        (coreset, vertex) pair instead of one dict probe per triple;
+        the sort then delivers every row's bit list already ascending
+        and in global (coreset, leafset) order, so row keys, counts and
+        the construction-order record all fall out of one pass.
+        """
+        from itertools import repeat
+
+        masks = self._masks
+        rows = self._rows
+        row_freq = self._row_freq
+        leaf_to_cores = self._leaf_to_cores
+        core_to_leaves = self._core_to_leaves
+        core_freq = self._core_freq
+        make_batch = masks.make_batch
+        rows_update = rows.update
+        row_freq_update = row_freq.update
+        vertex_rowinfo: Dict[Vertex, Tuple] = {}
+        leaf_masks: Dict[int, List[Mask]] = {}
+        row_order: List[RowKey] = []
+        row_order_extend = row_order.extend
+        core_keys: List[CoreKey] = []
+        cores_flat: List[int] = []
+        ords_flat: List[int] = []
+        bits_flat: List[int] = []
+        cores_extend = cores_flat.extend
+        ords_extend = ords_flat.extend
+        bits_extend = bits_flat.extend
+
+        def flush() -> None:
+            count = len(cores_flat)
+            if not count:
+                return
+            cores_a = _np.array(cores_flat, dtype=_np.int64)
+            ords_a = _np.array(ords_flat, dtype=_np.int64)
+            bits_a = _np.array(bits_flat, dtype=_np.int64)
+            del cores_flat[:], ords_flat[:], bits_flat[:]
+            # One radix sort on a packed (core, leaf, bit) key beats
+            # three lexsort passes when the key fits a machine word;
+            # the widths come from the actual block maxima.
+            bit_width = int(bits_a.max()) .bit_length()
+            ord_width = int(ords_a.max()).bit_length()
+            core_width = int(cores_a.max()).bit_length()
+            if bit_width + ord_width + core_width <= 62:
+                packed = (
+                    (cores_a << (ord_width + bit_width))
+                    | (ords_a << bit_width)
+                    | bits_a
+                )
+                order = _np.argsort(packed, kind="stable")
+            else:  # pragma: no cover - >2^62 key space
+                order = _np.lexsort((bits_a, ords_a, cores_a))
+            cores_a = cores_a[order]
+            ords_a = ords_a[order]
+            bits_a = bits_a[order]
+            row_change = _np.empty(count, dtype=bool)
+            row_change[0] = True
+            _np.not_equal(ords_a[1:], ords_a[:-1], out=row_change[1:])
+            row_change[1:] |= cores_a[1:] != cores_a[:-1]
+            starts = _np.flatnonzero(row_change)
+            counts_a = _np.diff(_np.append(starts, count))
+            bits_list = bits_a.tolist()
+            bounds = starts.tolist()
+            bounds.append(count)
+            num_rows = len(bounds) - 1
+            bit_lists = [
+                bits_list[bounds[i] : bounds[i + 1]] for i in range(num_rows)
+            ]
+            built = make_batch(bit_lists)
+            row_cores_a = cores_a[starts]
+            row_ords_a = ords_a[starts]
+            # Row keys, masks, frequencies and the construction-order
+            # record all land through C-level bulk calls.
+            keys = list(
+                zip(
+                    map(core_keys.__getitem__, row_cores_a.tolist()),
+                    map(leaf_by_ordinal.__getitem__, row_ords_a.tolist()),
+                )
+            )
+            rows_update(zip(keys, built))
+            row_freq_update(zip(keys, counts_a.tolist()))
+            row_order_extend(keys)
+            # Per-coreset totals and leaf sets: a coreset's rows are
+            # consecutive after the sort, so one reduceat per block.
+            core_row_change = _np.empty(num_rows, dtype=bool)
+            core_row_change[0] = True
+            _np.not_equal(
+                row_cores_a[1:], row_cores_a[:-1], out=core_row_change[1:]
+            )
+            core_row_starts = _np.flatnonzero(core_row_change)
+            core_sums = _np.add.reduceat(counts_a, core_row_starts)
+            core_bounds = core_row_starts.tolist()
+            core_bounds.append(num_rows)
+            for index, total in enumerate(core_sums.tolist()):
+                start = core_bounds[index]
+                end = core_bounds[index + 1]
+                core_key = keys[start][0]
+                leaves = {key[1] for key in keys[start:end]}
+                have = core_to_leaves.get(core_key)
+                if have is None:
+                    core_to_leaves[core_key] = leaves
+                else:
+                    have.update(leaves)
+                core_freq[core_key] = core_freq.get(core_key, 0) + total
+            # Per-leafset coreset sets and row-mask lists (for the
+            # batched unions): group rows by ordinal with one stable
+            # argsort per block.
+            leaf_order = _np.argsort(row_ords_a, kind="stable")
+            sorted_ords = row_ords_a[leaf_order]
+            leaf_change = _np.empty(num_rows, dtype=bool)
+            leaf_change[0] = True
+            _np.not_equal(sorted_ords[1:], sorted_ords[:-1], out=leaf_change[1:])
+            leaf_bounds = _np.flatnonzero(leaf_change).tolist()
+            leaf_bounds.append(num_rows)
+            leaf_order_list = leaf_order.tolist()
+            sorted_ords_list = sorted_ords.tolist()
+            for group in range(len(leaf_bounds) - 1):
+                start = leaf_bounds[group]
+                end = leaf_bounds[group + 1]
+                ordinal = sorted_ords_list[start]
+                leaf = leaf_by_ordinal[ordinal]
+                row_indexes = leaf_order_list[start:end]
+                row_masks = [built[i] for i in row_indexes]
+                cores = {keys[i][0] for i in row_indexes}
+                have = leaf_to_cores.get(leaf)
+                if have is None:
+                    leaf_to_cores[leaf] = cores
+                    leaf_masks[ordinal] = row_masks
+                else:
+                    have.update(cores)
+                    leaf_masks[ordinal].extend(row_masks)
+
+        block_cap = self._GROUP_BLOCK_TRIPLES
+        for core_key, members in plan.items():
+            members = self._dedupe_members(members)
+            core_index = len(core_keys)
+            core_keys.append(core_key)
+            before = len(ords_flat)
+            for vertex in members:
+                info = vertex_rowinfo.get(vertex)
+                if info is None:
+                    info = vertex_rowinfo[vertex] = self._vertex_info(
+                        vertex, values_of, ordinal_of
+                    )
+                if not info:
+                    continue
+                ords_extend(info[1])
+                bits_extend(info[2])
+            added = len(ords_flat) - before
+            if added:
+                cores_extend(repeat(core_index, added))
+                if len(cores_flat) >= block_cap:
+                    flush()
+        flush()
+        self._materialise_unions(leaf_masks, leaf_by_ordinal)
+        self._initial_row_order = row_order
+
+    def _build_rows_pure(
+        self,
+        plan: Mapping[CoreKey, List[Vertex]],
+        values_of: Callable[[Vertex], FrozenSet[Value]],
+        ordinal_of: Dict[Value, int],
+        leaf_by_ordinal: List[LeafKey],
+    ) -> None:
+        """Dict-grouping fallback (no numpy): per-coreset bit-list
+        dicts keyed by leaf ordinal, bulk-materialised per coreset.
+
+        Produces the identical database to the vectorised path — the
+        construction-equivalence tests force this branch to prove it.
+        """
+        masks = self._masks
+        rows = self._rows
+        row_freq = self._row_freq
+        leaf_to_cores = self._leaf_to_cores
+        core_to_leaves = self._core_to_leaves
+        core_freq = self._core_freq
+        make_batch = masks.make_batch
+        rows_update = rows.update
+        row_freq_update = row_freq.update
+        vertex_rowinfo: Dict[Vertex, Tuple] = {}
+        leaf_masks: Dict[int, List[Mask]] = {}
+        row_order: List[RowKey] = []
+        row_order_extend = row_order.extend
+        for core_key, members in plan.items():
+            members = self._dedupe_members(members)
+            row_bits: Dict[int, List[int]] = {}
+            get_row = row_bits.get
+            for vertex in members:
+                info = vertex_rowinfo.get(vertex)
+                if info is None:
+                    info = vertex_rowinfo[vertex] = self._vertex_info(
+                        vertex, values_of, ordinal_of
+                    )
+                if not info:
+                    continue
+                bit = info[0]
+                for ordinal in info[1]:
+                    bits = get_row(ordinal)
+                    if bits is None:
+                        row_bits[ordinal] = [bit]
+                    else:
+                        bits.append(bit)
+            if not row_bits:
+                continue
+            ordered = sorted(row_bits)
+            bit_lists = [row_bits[ordinal] for ordinal in ordered]
+            for bits in bit_lists:
+                # Bits are first-touch ordered globally but members are
+                # iterated per coreset, so lists are only mostly sorted.
+                bits.sort()
+            built = make_batch(bit_lists)
+            # Materialisation runs in sorted-ordinal order, so the keys
+            # list doubles as the construction-order row record; the
+            # per-row stores collapse into C-level bulk updates.
+            keys = [
+                (core_key, leaf_by_ordinal[ordinal]) for ordinal in ordered
+            ]
+            counts = list(map(len, bit_lists))
+            rows_update(zip(keys, built))
+            row_freq_update(zip(keys, counts))
+            core_freq[core_key] = sum(counts)
+            row_order_extend(keys)
+            leaves = [key[1] for key in keys]
+            have = core_to_leaves.get(core_key)
+            if have is None:
+                core_to_leaves[core_key] = set(leaves)
+            else:
+                have.update(leaves)
+            for ordinal, leaf, mask in zip(ordered, leaves, built):
+                cores = leaf_to_cores.get(leaf)
+                if cores is None:
+                    leaf_to_cores[leaf] = {core_key}
+                    leaf_masks[ordinal] = [mask]
+                else:
+                    cores.add(core_key)
+                    leaf_masks[ordinal].append(mask)
+        self._materialise_unions(leaf_masks, leaf_by_ordinal)
+        self._initial_row_order = row_order
+
+    def _materialise_unions(
+        self,
+        leaf_masks: Dict[int, List[Mask]],
+        leaf_by_ordinal: List[LeafKey],
+    ) -> None:
+        """Set every per-leafset union mask from its row masks.
+
+        A union is the OR of the leafset's rows over all coresets; a
+        single-row leafset shares the row's mask value outright, which
+        is safe because every post-construction mask operation is pure
+        (``copy`` relies on the same discipline).
+        """
+        masks = self._masks
+        or_ = masks.or_
+        leaf_union = self._leaf_union
+        for ordinal, row_masks in leaf_masks.items():
+            union = row_masks[0]
+            for mask in row_masks[1:]:
+                union = or_(union, mask)
+            leaf_union[leaf_by_ordinal[ordinal]] = union
+
+    def _finalise_construction(self) -> None:
+        """Shared epilogue of every construction path.
+
+        Interns the initial leafsets in repr-sorted order — first-sight
+        ids then coincide with the repr ordering the seed used, so
+        seeding-time tie-breaks are unchanged and independent of the
+        (hash-seed-dependent) set iteration order — builds the
+        per-coreset sorted id lists, and freezes the vertex order.
+        """
+        ordered = sorted(self._leaf_to_cores, key=_key_of)
+        self._interner.intern_all(ordered)
+        intern = self._interner.intern
+        id_of = {leaf: intern(leaf) for leaf in ordered}
+        self._core_leaf_ids = {
+            core: sorted(id_of[leaf] for leaf in leaves)
+            for core, leaves in self._core_to_leaves.items()
+        }
+        self._vertex_order_frozen = True
+
+    def _bit_of(self, vertex: Vertex) -> int:
+        """The vertex's bit index under the shared vertex order.
+
+        ``from_graph`` precomputes the full table and then *freezes*
+        it: batch-built masks trust precomputed bit lists, so an
+        unknown vertex on a frozen database raises
+        :class:`MiningError` instead of silently extending the order
+        (which would let masks and table diverge).  Direct
+        ``_add_position`` callers on a hand-built database (one that
+        never went through ``from_graph``) still get lazy first-touch
+        assignment.
+        """
+        bit = self._vertex_bit.get(vertex)
+        if bit is None:
+            if self._vertex_order_frozen:
+                raise MiningError(
+                    f"unknown vertex {vertex!r}: the vertex order is frozen "
+                    "after from_graph (every mask shares one vertex->bit "
+                    "table); build a new database instead of appending "
+                    "positions"
+                )
             bit = len(self._vertex_ids)
             self._vertex_bit[vertex] = bit
             self._vertex_ids.append(vertex)
@@ -746,6 +1243,7 @@ class InvertedDatabase:
         db._merge_index = self._merge_index
         db._core_epoch = dict(self._core_epoch)
         db._leaf_epoch = dict(self._leaf_epoch)
+        db._vertex_order_frozen = self._vertex_order_frozen
         db._initial_row_order = (
             list(self._initial_row_order)
             if self._initial_row_order is not None

@@ -39,7 +39,7 @@ floats are identical across backends — the equivalence suite in
 
 from __future__ import annotations
 
-from typing import Any, Iterable, Iterator
+from typing import Any, Iterable, Iterator, List, Sequence
 
 Mask = Any
 
@@ -93,6 +93,37 @@ class MaskBackend:
         use the returned value.
         """
         raise NotImplementedError
+
+    def make_batch(self, bit_lists: Sequence[Sequence[int]]) -> List[Mask]:
+        """One fresh mask per bit list, materialised in one bulk call.
+
+        Every list must be sorted ascending; duplicates are allowed
+        (setting a bit twice is idempotent).  This is the columnar
+        builder's phase-2 primitive: the database collects each row's
+        full bit list first and materialises all of a coreset's rows
+        here, so backends can amortise per-mask setup — the bigint
+        backend packs bytes and shifts once, the chunked backends
+        group consecutive bits by chunk index instead of re-hashing
+        the chunk key per bit.  The default implementation falls back
+        to :meth:`make` per list.
+        """
+        return [self.make(bits) for bits in bit_lists]
+
+    def set_bits_bulk(self, mask: Mask, bits: Sequence[int]) -> Mask:
+        """``mask`` with every bit of sorted ``bits`` set — MAY mutate.
+
+        The bulk counterpart of :meth:`set_bit`, under the same
+        construction-time ownership discipline: ``bits`` must be
+        ascending (duplicates allowed), and callers must use the
+        returned value.  The in-place complement of
+        :meth:`make_batch` for builders that accumulate into an
+        existing mask (custom pipeline stages, external index
+        construction); the database's own builder materialises fresh
+        masks through ``make_batch`` only.
+        """
+        for bit in bits:
+            mask = self.set_bit(mask, bit)
+        return mask
 
     # -- predicates ----------------------------------------------------
 

@@ -20,7 +20,7 @@ backend (asserted by the equivalence suite).
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Iterator
+from typing import Dict, Iterable, Iterator, List, Sequence
 
 from repro.core.masks.base import MaskBackend, int_value_bytes, iter_int_bits
 
@@ -59,9 +59,58 @@ class ChunkedMaskBackend(MaskBackend):
             mask[chunk] = mask.get(chunk, 0) | (1 << (bit & low))
         return mask
 
+    def make_batch(self, bit_lists: Sequence[Sequence[int]]) -> List[ChunkMask]:
+        # Sorted input means each chunk's bits are consecutive: one
+        # dict store per chunk run instead of a get+set per bit.  The
+        # dominant construction case — a community row inside a single
+        # chunk — skips the per-bit chunk bookkeeping entirely.
+        shift = self._shift
+        low = self._low
+        out: List[ChunkMask] = []
+        append = out.append
+        for bits in bit_lists:
+            if not bits:
+                append({})
+                continue
+            first = bits[0] >> shift
+            if bits[-1] >> shift == first:
+                word = 0
+                for bit in bits:
+                    word |= 1 << (bit & low)
+                append({first: word})
+                continue
+            mask: ChunkMask = {}
+            current = first
+            word = 0
+            for bit in bits:
+                chunk = bit >> shift
+                if chunk != current:
+                    mask[current] = word
+                    current = chunk
+                    word = 0
+                word |= 1 << (bit & low)
+            mask[current] = word
+            append(mask)
+        return out
+
     def set_bit(self, mask: ChunkMask, bit: int) -> ChunkMask:
         chunk = bit >> self._shift
         mask[chunk] = mask.get(chunk, 0) | (1 << (bit & self._low))
+        return mask
+
+    def set_bits_bulk(self, mask: ChunkMask, bits: Sequence[int]) -> ChunkMask:
+        shift = self._shift
+        low = self._low
+        index = 0
+        count = len(bits)
+        while index < count:
+            chunk = bits[index] >> shift
+            word = 0
+            while index < count and bits[index] >> shift == chunk:
+                word |= 1 << (bits[index] & low)
+                index += 1
+            have = mask.get(chunk)
+            mask[chunk] = word if have is None else have | word
         return mask
 
     def has_bit(self, mask: ChunkMask, bit: int) -> bool:

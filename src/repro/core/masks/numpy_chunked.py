@@ -15,7 +15,7 @@ quantity is an exact integer count.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Iterator
+from typing import Dict, Iterable, Iterator, List, Sequence
 
 import numpy as np
 
@@ -68,6 +68,41 @@ class NumpyChunkedMaskBackend(MaskBackend):
             words = mask[chunk] = np.zeros(self._words, dtype=np.uint64)
         words[offset >> 6] |= np.uint64(1 << (offset & 63))
         return mask
+
+    def _scatter(self, mask: NumpyMask, bits: Sequence[int]) -> NumpyMask:
+        """OR the ascending ``bits`` into ``mask`` chunk by chunk.
+
+        One vectorised pass: offsets and word values are computed for
+        the whole list, then each consecutive chunk run is scattered
+        into its word array with a single ``np.bitwise_or.at``.
+        """
+        if not len(bits):
+            return mask
+        array = np.asarray(bits, dtype=np.int64)
+        chunks = array // self.chunk_bits
+        offsets = array - chunks * self.chunk_bits
+        word_index = offsets >> 6
+        values = np.left_shift(
+            np.ones(len(array), dtype=np.uint64),
+            (offsets & 63).astype(np.uint64),
+        )
+        # Sorted input makes chunk runs consecutive.
+        boundaries = np.flatnonzero(np.diff(chunks)) + 1
+        starts = np.concatenate(([0], boundaries))
+        ends = np.concatenate((boundaries, [len(array)]))
+        for start, end in zip(starts, ends):
+            chunk = int(chunks[start])
+            words = mask.get(chunk)
+            if words is None:
+                words = mask[chunk] = np.zeros(self._words, dtype=np.uint64)
+            np.bitwise_or.at(words, word_index[start:end], values[start:end])
+        return mask
+
+    def make_batch(self, bit_lists: Sequence[Sequence[int]]) -> List[NumpyMask]:
+        return [self._scatter({}, bits) for bits in bit_lists]
+
+    def set_bits_bulk(self, mask: NumpyMask, bits: Sequence[int]) -> NumpyMask:
+        return self._scatter(mask, bits)
 
     def has_bit(self, mask: NumpyMask, bit: int) -> bool:
         chunk, offset = divmod(bit, self.chunk_bits)

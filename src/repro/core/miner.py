@@ -48,7 +48,8 @@ class CSPM:
         the paper's settings).  Keywords passed *alongside* ``config``
         override the corresponding config fields.
     method, coreset_encoder, include_model_cost, max_iterations, \
-    partial_update_scope, top_k, min_leafset, mask_backend:
+    partial_update_scope, top_k, min_leafset, mask_backend, \
+    construction, construction_workers:
         Legacy/convenience knobs; see :class:`~repro.config.CSPMConfig`
         for their meaning.
     """
@@ -63,6 +64,8 @@ class CSPM:
         top_k: Optional[int] = _UNSET,
         min_leafset: int = _UNSET,
         mask_backend: str = _UNSET,
+        construction: str = _UNSET,
+        construction_workers: Optional[int] = _UNSET,
         config: Optional[CSPMConfig] = None,
     ) -> None:
         overrides = {
@@ -76,6 +79,8 @@ class CSPM:
                 ("top_k", top_k),
                 ("min_leafset", min_leafset),
                 ("mask_backend", mask_backend),
+                ("construction", construction),
+                ("construction_workers", construction_workers),
             )
             if value is not _UNSET
         }
@@ -116,6 +121,14 @@ class CSPM:
     @property
     def mask_backend(self) -> str:
         return self.config.mask_backend
+
+    @property
+    def construction(self) -> str:
+        return self.config.construction
+
+    @property
+    def construction_workers(self) -> Optional[int]:
+        return self.config.construction_workers
 
     def __repr__(self) -> str:
         return f"CSPM({self.config.describe()})"

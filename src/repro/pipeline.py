@@ -30,6 +30,7 @@ Example::
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import (
     Any,
@@ -183,7 +184,14 @@ class BuildInvertedDB(PipelineStage):
 
     The position-mask backend comes from ``config.mask_backend``
     (:mod:`repro.core.masks`; ``"auto"`` resolves by graph size —
-    bigint for small graphs, chunked sparse bitmaps at paper scale).
+    bigint for small graphs, chunked sparse bitmaps at paper scale) and
+    the build path from ``config.construction`` — the serial columnar
+    batch builder by default, or the coreset-partitioned worker-process
+    path (``"partitioned"``, ``config.construction_workers`` workers),
+    which produces the identical database.  The stage records the
+    construction wall-clock in ``context.extras["construction_seconds"]``
+    (the perf suite's schema-v4 metric).
+
     The initial description length is folded into construction: the
     database records its rows in canonical sorted order as each coreset
     finalises, so the Eq. 1-8 pass sums straight over that record
@@ -192,13 +200,20 @@ class BuildInvertedDB(PipelineStage):
     """
 
     def run(self, context: PipelineContext) -> None:
+        config = context.config
         backend = resolve_backend(
-            context.config.mask_backend,
+            config.mask_backend,
             num_bits_hint=context.graph.num_vertices,
         )
+        start = time.perf_counter()
         context.inverted_db = InvertedDatabase.from_graph(
-            context.graph, context.coreset_positions, mask_backend=backend
+            context.graph,
+            context.coreset_positions,
+            mask_backend=backend,
+            construction=config.construction,
+            construction_workers=config.construction_workers,
         )
+        context.extras["construction_seconds"] = time.perf_counter() - start
         context.initial_dl = initial_description_length(
             context.inverted_db, context.standard_table, context.core_table
         )

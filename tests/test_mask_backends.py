@@ -95,6 +95,69 @@ class TestBackendOps:
             mask = backend.set_bit(mask, bit)  # idempotent
         assert backend.equals(mask, backend.make(BOUNDARY_BITS))
 
+    def test_make_batch_matches_make(self, backend):
+        # The columnar builder's bulk materialiser: ascending input,
+        # duplicates allowed, one mask per list, boundary bits heavy.
+        bit_lists = [
+            [],
+            [0],
+            [5, 5, 70, 300],
+            sorted(BOUNDARY_BITS),
+            sorted(BOUNDARY_BITS) + [1025, 1025],
+            [63, 64],
+            [2000],
+        ]
+        built = backend.make_batch(bit_lists)
+        assert len(built) == len(bit_lists)
+        for bits, mask in zip(bit_lists, built):
+            assert backend.equals(mask, backend.make(bits)), bits
+            assert list(backend.iter_bits(mask)) == sorted(set(bits))
+
+    def test_set_bits_bulk_matches_per_bit(self, backend):
+        # Bulk accumulation into an existing mask == per-bit set_bit,
+        # including cross-chunk runs and bits already present.
+        base_bits = (1, 64, 300)
+        added = sorted((0, 63, 64, 255, 256, 300, 1024, 1025))
+        mask = backend.set_bits_bulk(backend.make(base_bits), added)
+        reference = backend.make(base_bits)
+        for bit in added:
+            reference = backend.set_bit(reference, bit)
+        assert backend.equals(mask, reference)
+        assert backend.equals(
+            backend.set_bits_bulk(backend.empty(), added),
+            backend.make(added),
+        )
+        assert backend.equals(
+            backend.set_bits_bulk(backend.make(base_bits), []),
+            backend.make(base_bits),
+        )
+
+    @given(
+        bit_lists=st.lists(
+            st.lists(
+                st.integers(min_value=0, max_value=1100), max_size=40
+            ).map(sorted),
+            max_size=6,
+        )
+    )
+    @settings(
+        max_examples=40,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    def test_property_bulk_ops_match_reference(self, backend, bit_lists):
+        built = backend.make_batch(bit_lists)
+        for bits, mask in zip(bit_lists, built):
+            assert backend.popcount(mask) == len(set(bits))
+            assert list(backend.iter_bits(mask)) == sorted(set(bits))
+        merged = backend.empty()
+        for bits in bit_lists:
+            merged = backend.set_bits_bulk(merged, bits)
+        union = ref_mask(bit for bits in bit_lists for bit in bits)
+        assert list(backend.iter_bits(merged)) == [
+            i for i in range(1101) if union >> i & 1
+        ]
+
     @pytest.mark.parametrize(
         "bits_a, bits_b",
         [

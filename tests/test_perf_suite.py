@@ -14,6 +14,7 @@ from repro.perf.suite import (
     _measure_size,
     _pokec_backend,
     check_bounds,
+    construction_report,
     merge_into,
     pokec_sparse_graph,
     run_suite,
@@ -48,8 +49,8 @@ class TestMeasureSize:
         assert tiny_entry["runs"]["partial/overlap"]["peak_queue_size"] >= 1
         assert tiny_entry["runs"]["basic/overlap"]["peak_queue_size"] == 0
 
-    def test_schema_v3_lazy_counters(self, tiny_entry):
-        assert SCHEMA_VERSION == 3
+    def test_schema_v4_lazy_counters(self, tiny_entry):
+        assert SCHEMA_VERSION == 4
         partial = tiny_entry["runs"]["partial/overlap"]
         # Partial runs use (and record) the library default scope, and
         # the bound-driven refresh skips at least something on any
@@ -71,6 +72,30 @@ class TestMeasureSize:
         for run in tiny_entry["runs"].values():
             assert run["mask_backend"] == "bigint"
             assert run["mask_peak_bytes"] > 0
+
+    def test_schema_v4_construction_seconds(self, tiny_entry):
+        # Every series entry records the BuildInvertedDB wall-clock;
+        # the tiny label has no recorded pre-columnar baseline.
+        assert tiny_entry["construction_seconds"] >= 0.0
+        assert "construction_baseline_seconds" not in tiny_entry
+
+    def test_recorded_baselines_attach_to_pokec_labels(self):
+        from repro.perf.suite import PRE_COLUMNAR_CONSTRUCTION_SECONDS
+
+        graph = pokec_sparse_graph(4)
+        entry = _measure_size(
+            graph,
+            "communities=800",  # label with a recorded baseline
+            run_basic_too=False,
+            mask_backend="chunked",
+            pair_sources=("overlap",),
+            workload="pokec-sparse",
+        )
+        assert entry["construction_baseline_seconds"] == (
+            PRE_COLUMNAR_CONSTRUCTION_SECONDS[
+                ("pokec-sparse", "communities=800")
+            ]
+        )
 
     def test_counters_identical_across_mask_backends(self):
         graph = sparse_scaling_graph(3)
@@ -137,7 +162,9 @@ class TestAcceptance:
         from repro.core.cspm_partial import run_partial
         from repro.perf.suite import _prepare
 
-        db0, standard, core, bits = _prepare(sparse_scaling_graph(24))
+        db0, standard, core, bits, _build_seconds = _prepare(
+            sparse_scaling_graph(24)
+        )
         overlap = run_partial(
             db0.copy(), standard, core, initial_dl_bits=bits, pair_source="overlap"
         )
@@ -401,10 +428,40 @@ class TestCheckBounds:
     def test_missing_workload_or_series_reported(self):
         bounds = {
             "nope": {"x": {"max_initial_candidate_gains": 1}},
-            "sparse-scaling": {"communities=99": {}},
+            "sparse-scaling": {
+                "communities=99": {"max_total_gain_computations": 1}
+            },
         }
         failures = check_bounds(self.document(), bounds)
         assert len(failures) == 2
+
+    def test_report_only_series_may_be_absent(self):
+        # A full-suite-only label carrying just a construction
+        # reference must not fail the quick flavour's check.
+        bounds = {
+            "sparse-scaling": {
+                "communities=99": {"max_construction_seconds": 1.0}
+            }
+        }
+        assert check_bounds(self.document(), bounds) == []
+
+    def test_report_only_workload_may_be_absent(self):
+        # Same at the workload level: pokec-xl is skipped entirely
+        # under --quick, so a bounds section holding only construction
+        # references must not fail the quick check — but a section
+        # with any enforceable key still must.
+        report_only = {
+            "pokec-xl": {
+                "communities=32000": {"max_construction_seconds": 30.0}
+            }
+        }
+        assert check_bounds(self.document(), report_only) == []
+        enforceable = {
+            "pokec-xl": {
+                "communities=32000": {"max_total_gain_computations": 1}
+            }
+        }
+        assert len(check_bounds(self.document(), enforceable)) == 1
 
     def test_repo_bounds_file_is_wellformed(self):
         from pathlib import Path
@@ -412,9 +469,148 @@ class TestCheckBounds:
         path = Path(__file__).parents[1] / "benchmarks" / "perf_bounds.json"
         bounds = json.loads(path.read_text())
         constrained = [k for k in bounds if not k.startswith("__")]
-        assert constrained == ["sparse-scaling", "pokec-sparse"]
+        assert constrained == ["sparse-scaling", "pokec-sparse", "pokec-xl"]
+        # pokec-xl never runs under --quick, so its section must stay
+        # purely report-only (check_bounds would otherwise fail CI).
+        for constraints in bounds["pokec-xl"].values():
+            assert set(constraints) <= {"max_construction_seconds"}
         pokec = bounds["pokec-sparse"]["communities=800"]
         # The acceptance-criterion floor: chunked masks must stay at
         # least 5x below the whole-graph bigint estimate.
         assert pokec["min_mask_memory_reduction"] >= 5.0
         assert pokec["require_mask_backend"] == "chunked"
+
+
+class TestWorkloadCatalog:
+    """Satellite: --list-workloads / --list discoverability."""
+
+    def test_catalog_covers_every_registered_family(self):
+        from repro.perf.suite import WORKLOAD_NAMES, workload_catalog
+
+        names = [record["workload"] for record in workload_catalog()]
+        assert names == list(WORKLOAD_NAMES)
+
+    def test_catalog_lists_quick_and_full_sizes(self):
+        from repro.perf.suite import workload_catalog
+
+        by_name = {r["workload"]: r for r in workload_catalog()}
+        sparse = by_name["sparse-scaling"]
+        assert any("communities=16" in label for label in sparse["quick"])
+        assert any("communities=64" in label for label in sparse["full"])
+        xl = by_name["pokec-xl"]
+        assert xl["quick"] == []  # full suite only
+        assert any("communities=32000" in label for label in xl["full"])
+        assert any("1600000 vertices" in label for label in xl["full"])
+
+    def test_format_renders_every_family(self):
+        from repro.perf.suite import WORKLOAD_NAMES, format_workload_catalog
+
+        text = format_workload_catalog()
+        for name in WORKLOAD_NAMES:
+            assert name in text
+        assert "skipped under --quick" in text
+
+    def test_bench_cli_list_workloads(self, capsys):
+        from repro.cli import main
+
+        assert main(["bench", "--list-workloads"]) == 0
+        out = capsys.readouterr().out
+        assert "pokec-xl" in out and "sparse-scaling" in out
+
+    def test_perf_suite_script_list_alias(self, capsys):
+        from repro.perf.suite import main as suite_main
+
+        assert suite_main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "pokec-xl" in out
+
+    def test_pokec_xl_skipped_under_quick(self):
+        document = run_suite(quick=True, only=["pokec-xl"])
+        assert document["workloads"] == []
+
+
+class TestConstructionReporting:
+    """Satellite: report-only max_construction_seconds handling."""
+
+    def entry(self, seconds, baseline=None):
+        entry = {"label": "communities=800", "construction_seconds": seconds}
+        if baseline is not None:
+            entry["construction_baseline_seconds"] = baseline
+        return {
+            "workloads": [
+                {"workload": "pokec-sparse", "series": [entry]}
+            ]
+        }
+
+    BOUNDS = {
+        "__comment": "x",
+        "pokec-sparse": {
+            "communities=800": {"max_construction_seconds": 1.0}
+        },
+    }
+
+    def test_within_reference_reports_and_never_fails(self):
+        document = self.entry(0.5, baseline=1.5)
+        lines = construction_report(document, self.BOUNDS)
+        assert len(lines) == 1
+        assert "within" in lines[0]
+        assert "3.00x" in lines[0]  # baseline ratio 1.5 / 0.5
+        assert check_bounds(document, self.BOUNDS) == []
+
+    def test_over_reference_is_report_only(self):
+        document = self.entry(2.0)
+        lines = construction_report(document, self.BOUNDS)
+        assert len(lines) == 1
+        assert "OVER (report-only)" in lines[0]
+        # The counter checker never fails on wall-clock.
+        assert check_bounds(document, self.BOUNDS) == []
+
+    def test_missing_entries_are_silently_skipped(self):
+        assert construction_report({"workloads": []}, self.BOUNDS) == []
+
+
+class TestPartitionedSuite:
+    """The suite-level construction knob is a bit-exactness gate."""
+
+    def test_partitioned_counters_identical_to_serial(self):
+        graph = sparse_scaling_graph(3)
+        serial = _measure_size(
+            graph, "communities=3", run_basic_too=False
+        )
+        partitioned = _measure_size(
+            graph,
+            "communities=3",
+            run_basic_too=False,
+            construction="partitioned",
+            construction_workers=2,
+        )
+        structural = (
+            "initial_candidate_gains",
+            "total_gain_computations",
+            "peak_queue_size",
+            "refreshes_skipped",
+            "dirty_revalidations",
+            "iterations",
+            "final_dl_bits",
+        )
+        for field in structural:
+            assert (
+                partitioned["runs"]["partial/overlap"][field]
+                == serial["runs"]["partial/overlap"][field]
+            ), field
+
+    def test_run_suite_records_construction_knobs(self):
+        document = run_suite(
+            quick=True,
+            only=["usflight"],
+            construction="partitioned",
+            construction_workers=2,
+        )
+        assert document["construction"] == "partitioned"
+        assert document["construction_workers"] == 2
+
+    def test_unknown_construction_rejected(self):
+        import pytest as _pytest
+
+        with _pytest.raises(ValueError, match="unknown construction"):
+            run_suite(quick=True, only=["usflight"], construction="sharded")
