@@ -1,0 +1,85 @@
+"""Baseline files: grandfathered findings that do not fail the lint.
+
+A baseline is a committed JSON document listing findings that predate a
+rule (or are accepted as-is); ``repro lint --baseline FILE`` subtracts
+them from the reported set so CI can gate on *new* findings only.  The
+shipped tree lints clean, so the committed ``lint_baseline.json`` is
+empty — the file exists so the workflow (and the round-trip) stays
+exercised, and so a future rule with pre-existing findings has a
+grandfathering path that is not "weaken the rule".
+
+Identity is the finding's :meth:`~repro.analysis.core.Finding.fingerprint`
+— ``(rule, path, message)``, no line numbers — so baselined findings
+survive unrelated edits elsewhere in the file.  Matching is count-aware:
+two identical findings need two baseline entries.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from typing import Dict, List, Sequence, Tuple
+
+from repro.analysis.core import Finding
+
+BASELINE_VERSION = 1
+
+Fingerprint = Tuple[str, str, str]
+
+
+def load_baseline(path: str) -> Counter:
+    """The fingerprint multiset of a baseline document."""
+    with open(path) as handle:
+        document = json.load(handle)
+    return baseline_from_dict(document)
+
+
+def baseline_from_dict(document: Dict) -> Counter:
+    version = document.get("version")
+    if version != BASELINE_VERSION:
+        raise ValueError(
+            f"unsupported baseline version {version!r} "
+            f"(expected {BASELINE_VERSION})"
+        )
+    fingerprints: Counter = Counter()
+    for entry in document.get("findings", ()):
+        fingerprints[(entry["rule"], entry["path"], entry["message"])] += 1
+    return fingerprints
+
+
+def baseline_document(findings: Sequence[Finding]) -> Dict:
+    """A baseline document grandfathering exactly ``findings``."""
+    return {
+        "version": BASELINE_VERSION,
+        "findings": [
+            {
+                "rule": finding.rule,
+                "path": finding.path,
+                "message": finding.message,
+            }
+            for finding in sorted(findings, key=Finding.sort_key)
+        ],
+    }
+
+
+def save_baseline(path: str, findings: Sequence[Finding]) -> None:
+    with open(path, "w") as handle:
+        json.dump(baseline_document(findings), handle, indent=2)
+        handle.write("\n")
+
+
+def split_baselined(
+    findings: Sequence[Finding], baseline: Counter
+) -> Tuple[List[Finding], List[Finding]]:
+    """``(new, baselined)`` — each baseline entry absorbs one finding."""
+    remaining = Counter(baseline)
+    fresh: List[Finding] = []
+    grandfathered: List[Finding] = []
+    for finding in findings:
+        fingerprint = finding.fingerprint()
+        if remaining[fingerprint] > 0:
+            remaining[fingerprint] -= 1
+            grandfathered.append(finding)
+        else:
+            fresh.append(finding)
+    return fresh, grandfathered

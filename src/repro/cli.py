@@ -9,6 +9,7 @@ Subcommands::
     python -m repro.cli generate <name> out.json # write an analogue
     python -m repro.cli alarms                   # Fig. 8 style comparison
     python -m repro.cli bench --quick            # perf suite -> BENCH_cspm.json
+    python -m repro.cli lint                     # invariant linter (repro.analysis)
 
 Every subcommand goes through the typed public API: mining options are
 collected into a :class:`repro.config.CSPMConfig` and handed to the
@@ -132,6 +133,58 @@ def _add_alarms(subparsers) -> None:
     )
 
 
+def _add_lint(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "lint",
+        help="run the project invariant linter (repro.analysis)",
+        description="Static analysis over the repro source tree for the "
+        "project's correctness contracts: hash-seed-stable accumulation "
+        "(DET*), mask-backend protocol conformance and pure read ops "
+        "(MSK*), fork/pickle safety of pool callables and worker "
+        "payloads (FRK*), and config/CLI drift (CFG*).  Exit code 1 on "
+        "any non-baselined finding.  See docs/INVARIANTS.md.",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to lint (default: the installed "
+        "repro package)",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the machine-readable report (the CI artifact) "
+        "instead of text",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        metavar="FILE",
+        help="subtract grandfathered findings recorded in this baseline "
+        "document (see repro.analysis.baseline)",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        default=None,
+        metavar="FILE",
+        help="write every current finding to FILE as the new baseline "
+        "and exit 0",
+    )
+    parser.add_argument(
+        "--rule",
+        action="append",
+        dest="rules",
+        default=None,
+        metavar="ID",
+        help="run only this rule id (repeatable; default: all)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the registered rules and exit",
+    )
+
+
 def _add_bench(subparsers) -> None:
     from repro.perf.suite import add_bench_arguments
 
@@ -158,6 +211,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_datasets(subparsers)
     _add_generate(subparsers)
     _add_alarms(subparsers)
+    _add_lint(subparsers)
     _add_bench(subparsers)
     return parser
 
@@ -256,6 +310,31 @@ def _command_alarms(args) -> int:
     return 0
 
 
+def _command_lint(args) -> int:
+    from repro.analysis import lint_paths, resolve_rules, save_baseline
+
+    if args.list_rules:
+        for rule in resolve_rules(None):
+            print(f"{rule.id}  [{rule.severity}]  {rule.title}")
+        return 0
+    report = lint_paths(
+        paths=args.paths or None,
+        rule_ids=args.rules,
+        baseline_path=args.baseline,
+    )
+    if args.write_baseline:
+        save_baseline(
+            args.write_baseline, report.findings + report.baselined
+        )
+        print(
+            f"wrote {len(report.findings) + len(report.baselined)} "
+            f"finding(s) to {args.write_baseline}"
+        )
+        return 0
+    print(report.render_json() if args.json else report.render_text())
+    return 0 if report.clean else 1
+
+
 def _command_bench(args) -> int:
     from repro.perf.suite import execute
 
@@ -268,6 +347,7 @@ _COMMANDS = {
     "datasets": _command_datasets,
     "generate": _command_generate,
     "alarms": _command_alarms,
+    "lint": _command_lint,
     "bench": _command_bench,
 }
 

@@ -33,7 +33,8 @@ class StandardCodeTable:
 
     def __init__(self, frequencies: Mapping[Value, int]) -> None:
         self._lengths: Dict[Value, float] = {}
-        total = sum(frequencies.values())
+        # Integer sum: exact in any order.
+        total = sum(frequencies.values())  # repro: noqa[DET001]
         if total <= 0:
             raise EncodingError("cannot build a code table from empty data")
         for value, count in frequencies.items():
@@ -123,7 +124,8 @@ class CoreCodeTable:
             raise EncodingError("coreset usage must be non-empty")
         self._usage: Dict[CoreKey, int] = {}
         total = 0
-        for coreset, count in usage.items():
+        # Integer accumulation: exact in any order.
+        for coreset, count in usage.items():  # repro: noqa[DET001]
             if count <= 0:
                 raise EncodingError(f"non-positive usage for coreset {set(coreset)}")
             key = frozenset(coreset)

@@ -161,7 +161,7 @@ class ChunkedMaskBackend(MaskBackend):
         for chunk, word in a.items():
             other = get(chunk)
             if other is not None:
-                word &= ~other
+                word = word & ~other
                 if not word:
                     continue
             out[chunk] = word

@@ -123,12 +123,14 @@ def conditional_entropy(db: InvertedDatabase) -> float:
     """``H(Y|X)`` of Eq. 7 over the live inverted database.
 
     The identity ``L(I|M) == s * H(Y|X)`` (Eq. 8) is covered by tests.
+    Rows are summed in the canonical sorted order so the float result
+    is identical for any ``PYTHONHASHSEED`` / insertion order (DET001).
     """
     s = db.total_frequency()
     if s == 0:
         return 0.0
     entropy = 0.0
-    for core, _leaf, l_ij in db.row_items():
+    for core, _leaf, l_ij in _sorted_rows(db):
         c_j = db.coreset_frequency(core)
         entropy -= (l_ij / s) * math.log2(l_ij / c_j)
     return entropy

@@ -136,6 +136,7 @@ Output document (``BENCH_cspm.json``, schema v4)::
 from __future__ import annotations
 
 import argparse
+import contextlib
 import json
 import os
 import sys
@@ -964,12 +965,18 @@ def execute(args) -> int:
         except (FileNotFoundError, json.JSONDecodeError):
             pass
     # Write-then-rename so an interrupted run never truncates an
-    # existing document (the .tmp suffix is gitignored).
+    # existing document (the .tmp suffix is gitignored).  On any
+    # failure mid-write the orphaned .tmp is removed, leaving both the
+    # target document and the working tree untouched.
     temporary = f"{args.out}.tmp"
-    with open(temporary, "w") as handle:
-        json.dump(document, handle, indent=2, sort_keys=False)
-        handle.write("\n")
-    os.replace(temporary, args.out)
+    try:
+        with open(temporary, "w") as handle:
+            json.dump(document, handle, indent=2, sort_keys=False)
+            handle.write("\n")
+        os.replace(temporary, args.out)
+    finally:
+        with contextlib.suppress(FileNotFoundError):
+            os.remove(temporary)
     print(f"\nwrote {args.out}")
     print(summarize(document))
 

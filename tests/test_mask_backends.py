@@ -577,3 +577,42 @@ class TestConfigIntegration:
         assert main(["mine", str(path), "--mask-backend", "chunked", "--json"]) == 0
         document = json.loads(capsys.readouterr().out)
         assert document["config"]["mask_backend"] == "chunked"
+
+
+class TestAndnotPurity:
+    """MSK002 regression: ``andnot`` on the chunked backend must not
+    mutate its operands (the fixed in-place ``word &= ~other`` was
+    flagged by the invariant linter; the pure spelling is pinned here)."""
+
+    @pytest.mark.parametrize("chunk_bits", [None, 64])
+    def test_chunked_andnot_leaves_operands_intact(self, chunk_bits):
+        backend = (
+            ChunkedMaskBackend()
+            if chunk_bits is None
+            else ChunkedMaskBackend(chunk_bits=chunk_bits)
+        )
+        a_bits = [0, 63, 64, 100, 1025]
+        b_bits = [63, 100, 2000]
+        a = backend.make(a_bits)
+        b = backend.make(b_bits)
+        a_before = {chunk: word for chunk, word in a.items()}
+        b_before = {chunk: word for chunk, word in b.items()}
+        result = backend.andnot(a, b)
+        assert a == a_before
+        assert b == b_before
+        assert list(backend.iter_bits(result)) == [0, 64, 1025]
+
+    def test_chunked_andnot_matches_bigint_reference(self):
+        backend = ChunkedMaskBackend(chunk_bits=64)
+        reference = BigintMaskBackend()
+        a_bits = sorted(BOUNDARY_BITS)
+        b_bits = [1, 63, 256, 1024, 4096]
+        chunked_result = backend.andnot(
+            backend.make(a_bits), backend.make(b_bits)
+        )
+        reference_result = reference.andnot(
+            reference.make(a_bits), reference.make(b_bits)
+        )
+        assert list(backend.iter_bits(chunked_result)) == list(
+            reference.iter_bits(reference_result)
+        )

@@ -114,3 +114,44 @@ class TestDescriptionLength:
         assert breakdown.model_core_bits == 0.0
         assert breakdown.data_core_bits == 0.0
         assert breakdown.data_leaf_bits > 0
+
+
+class TestOrderIndependence:
+    """DET001 regression: conditional_entropy sums in sorted order, so
+    the float it returns is bit-identical whatever insertion order (and
+    hence dict iteration order) the database was built with."""
+
+    def test_conditional_entropy_identical_across_insertion_orders(self):
+        from repro.graphs.attributed_graph import AttributedGraph
+
+        edges = [(1, 2), (1, 3), (1, 4), (3, 5), (4, 5), (2, 5)]
+        attributes = {
+            1: {"a"},
+            2: {"a", "c"},
+            3: {"c"},
+            4: {"b"},
+            5: {"a", "b"},
+        }
+        forward = AttributedGraph.from_edges(
+            edges=edges, attributes=attributes
+        )
+        backward = AttributedGraph.from_edges(
+            edges=list(reversed(edges)),
+            attributes=dict(reversed(list(attributes.items()))),
+        )
+        db_forward = InvertedDatabase.from_graph(forward)
+        db_backward = InvertedDatabase.from_graph(backward)
+        # Bit-identical, not approx: the sorted iteration makes the
+        # float summation order canonical.
+        assert conditional_entropy(db_forward) == conditional_entropy(
+            db_backward
+        )
+
+    def test_entropy_matches_data_leaf_bits_exactly_after_merges(
+        self, paper_db
+    ):
+        paper_db.merge(fs("b"), fs("c"))
+        s = paper_db.total_frequency()
+        assert data_leaf_bits(paper_db) == pytest.approx(
+            s * conditional_entropy(paper_db)
+        )

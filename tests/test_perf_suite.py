@@ -614,3 +614,44 @@ class TestPartitionedSuite:
 
         with _pytest.raises(ValueError, match="unknown construction"):
             run_suite(quick=True, only=["usflight"], construction="sharded")
+
+
+class TestAtomicWrite:
+    """A failed output write must leave no orphaned ``.tmp`` file and
+    must not touch an existing output document."""
+
+    def test_failed_write_cleans_tmp_and_preserves_output(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        import argparse
+
+        import repro.perf.suite as suite_module
+
+        out = tmp_path / "bench.json"
+        out.write_text('{"previous": true}')
+        monkeypatch.setattr(
+            suite_module,
+            "run_suite",
+            lambda **kwargs: {"schema_version": SCHEMA_VERSION, "workloads": []},
+        )
+
+        def explode(*args, **kwargs):
+            raise OSError("disk full")
+
+        monkeypatch.setattr(suite_module.json, "dump", explode)
+        args = argparse.Namespace(
+            quick=True,
+            seed=0,
+            workloads=None,
+            mask_backend=None,
+            construction=None,
+            construction_workers=None,
+            out=str(out),
+            check=None,
+            list_workloads=False,
+        )
+        with pytest.raises(OSError, match="disk full"):
+            suite_module.execute(args)
+        assert not (tmp_path / "bench.json.tmp").exists()
+        assert json.loads(out.read_text()) == {"previous": True}
+        capsys.readouterr()
