@@ -65,7 +65,7 @@ Quickstart::
 """
 
 from repro.batch import BatchResult, BatchRun, fit_many
-from repro.config import CONSTRUCTIONS, MASK_BACKENDS, CSPMConfig
+from repro.config import CONSTRUCTIONS, MASK_BACKENDS, SEARCHES, CSPMConfig
 from repro.core.astar import AStar
 from repro.core.masks import MaskBackend
 from repro.core.miner import CSPM
@@ -80,7 +80,7 @@ from repro.errors import (
 from repro.graphs.attributed_graph import AttributedGraph
 from repro.pipeline import MiningPipeline, PipelineContext, PipelineStage
 
-__version__ = "1.5.0"
+__version__ = "1.7.0"
 
 __all__ = [
     "AStar",
@@ -101,6 +101,7 @@ __all__ = [
     "PipelineContext",
     "PipelineStage",
     "ReproError",
+    "SEARCHES",
     "fit_many",
     "__version__",
 ]

@@ -242,25 +242,28 @@ class PoolCallableRule(Rule):
 
 @register
 class WorkerPayloadRule(Rule):
-    """FRK002: worker-payload dataclasses in ``core/construction.py``
-    restrict their fields to plainly picklable column types.
+    """FRK002: worker-payload dataclasses in the multiprocessing
+    modules restrict their fields to plainly picklable column types.
 
-    Every ``@dataclass`` in the partitioned-construction module is a
-    cross-process payload (today: ``PartitionResult``).  Field
-    annotations may only use the allowlisted container/scalar names and
-    the module's own key/mask aliases — no callables, no live database
-    or graph types, nothing that drags un-picklable or
-    megabyte-per-entry state through the result pickle.  See
-    docs/INVARIANTS.md (family 3).
+    Every ``@dataclass`` in the partitioned-construction and sharded-
+    search modules is a cross-process payload (today:
+    ``PartitionResult`` and ``ComponentRun``).  Field annotations may
+    only use the allowlisted container/scalar names and the module's
+    own key/mask aliases — no callables, no live database or graph
+    types, nothing that drags un-picklable or megabyte-per-entry state
+    through the result pickle.  See docs/INVARIANTS.md (family 3).
     """
 
     id = "FRK002"
     title = "non-allowlisted type in a worker-payload dataclass"
 
+    #: Modules whose dataclasses are cross-process payloads.
+    WORKER_MODULES = ("core/construction.py", "core/search_shard.py")
+
     def check_module(
         self, module: SourceModule, context: LintContext
     ) -> Iterable[Finding]:
-        if not module.path_endswith("core/construction.py"):
+        if not any(module.path_endswith(path) for path in self.WORKER_MODULES):
             return ()
         findings: List[Finding] = []
         for node in ast.walk(module.tree):

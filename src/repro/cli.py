@@ -29,6 +29,7 @@ from repro.config import (
     ENCODERS,
     MASK_BACKENDS,
     METHODS,
+    SEARCHES,
     UPDATE_SCOPES,
     CSPMConfig,
 )
@@ -91,6 +92,24 @@ def _add_mine(subparsers) -> None:
         default=None,
         metavar="N",
         help="worker processes for --construction partitioned "
+        "(default: one per CPU)",
+    )
+    parser.add_argument(
+        "--search",
+        choices=SEARCHES,
+        default="serial",
+        help="greedy-search execution (repro.core.search_shard): "
+        "'serial' runs the single-process queue loop, 'sharded' mines "
+        "the connected components of the coreset-overlap graph in "
+        "worker processes and stitches a bit-identical result; applies "
+        "to --method partial without an iteration cap",
+    )
+    parser.add_argument(
+        "--search-workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes for --search sharded "
         "(default: one per CPU)",
     )
     parser.add_argument(
@@ -237,6 +256,8 @@ def _mine_config(args) -> CSPMConfig:
         mask_backend=args.mask_backend,
         construction=args.construction,
         construction_workers=args.construction_workers,
+        search=args.search,
+        search_workers=args.search_workers,
         **post_filters,
     )
 

@@ -32,6 +32,7 @@ UPDATE_SCOPES: Tuple[str, ...] = ("lazy", "exhaustive", "related")
 # module imports only repro.errors, so that direction is cycle-free).
 MASK_BACKENDS: Tuple[str, ...] = ("auto", "bigint", "chunked", "numpy")
 CONSTRUCTIONS: Tuple[str, ...] = ("serial", "partitioned")
+SEARCHES: Tuple[str, ...] = ("serial", "sharded")
 
 
 @dataclass(frozen=True)
@@ -91,6 +92,20 @@ class CSPMConfig:
         Worker-process count for ``construction="partitioned"``
         (``None`` = one per CPU, capped by the partition count).
         Ignored under serial construction.
+    search:
+        How the greedy search runs: ``"serial"`` (default — one
+        process) or ``"sharded"`` (connected components of the
+        shares-a-coreset relation mined in parallel worker processes
+        and replayed into the identical result,
+        :mod:`repro.core.search_shard`).  Another pure
+        execution-engine choice — the mined model, trace and result
+        document are bit-identical — so it is serialised only when
+        non-default.  Applies to ``method="partial"`` runs without an
+        iteration cap; other runs fall back to the serial path.
+    search_workers:
+        Worker-process count for ``search="sharded"`` (``None`` = one
+        per CPU, capped by the component count).  Ignored under serial
+        search.
     """
 
     method: str = "partial"
@@ -103,6 +118,8 @@ class CSPMConfig:
     mask_backend: str = "auto"
     construction: str = "serial"
     construction_workers: Optional[int] = None
+    search: str = "serial"
+    search_workers: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.method not in METHODS:
@@ -168,6 +185,19 @@ class CSPMConfig:
                 f"construction_workers must be None or a positive int, "
                 f"got {self.construction_workers!r}"
             )
+        if self.search not in SEARCHES:
+            raise ConfigError(
+                f"search must be one of {SEARCHES}, got {self.search!r}"
+            )
+        if self.search_workers is not None and not (
+            isinstance(self.search_workers, int)
+            and not isinstance(self.search_workers, bool)
+            and self.search_workers >= 1
+        ):
+            raise ConfigError(
+                f"search_workers must be None or a positive int, "
+                f"got {self.search_workers!r}"
+            )
 
     # ------------------------------------------------------------------
     # Derivation and serialisation
@@ -183,8 +213,9 @@ class CSPMConfig:
     def to_dict(self) -> Dict[str, Any]:
         """A JSON-serialisable mapping of the config.
 
-        The execution-engine knobs (``mask_backend``, ``construction``
-        and ``construction_workers``) are included only when
+        The execution-engine knobs (``mask_backend``,
+        ``construction``/``construction_workers`` and
+        ``search``/``search_workers``) are included only when
         non-default: they never change the mined output, and omitting
         the defaults keeps existing schema-v1 result documents
         (including the CLI golden file) byte-identical.
@@ -197,6 +228,10 @@ class CSPMConfig:
             del document["construction"]
         if document["construction_workers"] is None:
             del document["construction_workers"]
+        if document["search"] == "serial":
+            del document["search"]
+        if document["search_workers"] is None:
+            del document["search_workers"]
         return document
 
     @classmethod

@@ -194,6 +194,30 @@ class CandidateQueue:
         if len(self._current) > self.peak_size:
             self.peak_size = len(self._current)
 
+    def set_many(
+        self, entries: Iterable[Tuple[Pair, float, object]]
+    ) -> None:
+        """Insert or update a batch of ``(pair, gain, payload)`` entries.
+
+        Equivalent to calling :meth:`set` once per entry in order —
+        versions, heap content and the peak-size high-water mark come
+        out identical — but the refresh loops hand the queue one batch
+        per merge instead of one call per pair, keeping per-call
+        dispatch out of the hot path.
+        """
+        heap = self._heap
+        current = self._current
+        pair_key = self._pair_key
+        version = self._version
+        push = heapq.heappush
+        for pair, gain, payload in entries:
+            version += 1
+            current[pair] = (gain, version, payload)
+            push(heap, (-gain, pair_key(pair), version, pair))
+            if len(current) > self.peak_size:
+                self.peak_size = len(current)
+        self._version = version
+
     def discard(self, pair: Pair) -> None:
         """Remove ``pair`` if present (lazy: heap entry becomes stale)."""
         self._current.pop(pair, None)

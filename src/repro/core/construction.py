@@ -202,7 +202,7 @@ def _merge_partitions(
             key = (core, leaf)
             rows[key] = mask
             row_freq[key] = frequency
-            leaf_to_cores.setdefault(leaf, set()).add(core)
+            leaf_to_cores.setdefault(leaf, {})[core] = None
             core_to_leaves.setdefault(core, set()).add(leaf)
         for index, total in part.core_freq:
             core_freq[items[index][0]] = total

@@ -66,9 +66,9 @@ comparisons instead of the seed's repr-string keys.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Hashable, Optional, Set
+from typing import Dict, FrozenSet, Hashable, List, Optional, Set, Tuple
 
-from repro.core.candidates import CandidateQueue, LeafsetInterner
+from repro.core.candidates import CandidateQueue, LeafsetInterner, Pair
 from repro.core.code_table import CoreCodeTable, StandardCodeTable
 from repro.core.gain import GainEngine
 from repro.core.instrumentation import IterationTrace, RunTrace, merged_pair_record
@@ -96,6 +96,19 @@ class _PartialState:
         self.queue.set(self.interner.canonical_pair(leaf_x, leaf_y), gain, payload)
         self.rdict.setdefault(leaf_x, set()).add(leaf_y)
         self.rdict.setdefault(leaf_y, set()).add(leaf_x)
+
+    def add_candidates(
+        self, entries: List[Tuple[LeafKey, LeafKey, float, object]]
+    ) -> None:
+        """Bulk :meth:`add_candidate`: one queue batch per refresh."""
+        rdict = self.rdict
+        canonical = self.interner.canonical_pair
+        batch = []
+        for leaf_x, leaf_y, gain, payload in entries:
+            batch.append((canonical(leaf_x, leaf_y), gain, payload))
+            rdict.setdefault(leaf_x, set()).add(leaf_y)
+            rdict.setdefault(leaf_y, set()).add(leaf_x)
+        self.queue.set_many(batch)
 
     def drop_candidate(self, leaf_x: LeafKey, leaf_y: LeafKey) -> None:
         self.queue.discard(self.interner.canonical_pair(leaf_x, leaf_y))
@@ -128,8 +141,18 @@ def run_partial(
     update_scope: str = "lazy",
     initial_dl_bits: Optional[float] = None,
     pair_source: str = "overlap",
+    recorder=None,
 ) -> RunTrace:
-    """Run CSPM-Partial to convergence, mutating ``db`` in place."""
+    """Run CSPM-Partial to convergence, mutating ``db`` in place.
+
+    ``recorder`` (duck-typed, see
+    :class:`repro.core.search_shard.ComponentRecorder`) captures every
+    queue operation and queue-head decision the run makes, which is
+    what lets the component-sharded search replay a worker's run
+    through the stitched global queue bit-exactly.  ``None`` (the
+    default) records nothing and adds no overhead beyond the ``is
+    None`` checks.
+    """
     if update_scope not in UPDATE_SCOPES:
         raise MiningError(
             f"update_scope must be one of {UPDATE_SCOPES}, got {update_scope!r}"
@@ -148,6 +171,8 @@ def run_partial(
         return breakdown, breakdown.net(include_model_cost)
 
     state = _PartialState(interner)
+    if recorder is not None:
+        state.queue = recorder.make_queue(interner)
     initial_gains = 0
     seed_epoch = db.merge_epoch
     for leaf_x, leaf_y in generate_pairs(db, pair_source):
@@ -169,6 +194,7 @@ def run_partial(
         if popped is None:
             break
         (leaf_x, leaf_y), stored_gain, payload = popped
+        clean = False
         if (
             lazy
             and payload is not None
@@ -180,6 +206,7 @@ def run_partial(
             # gain, so the head is the true maximum.  Merge directly.
             breakdown = payload[0]
             gain = stored_gain
+            clean = True
             trace.refreshes_skipped += 1
         else:
             breakdown, gain = net_gain(leaf_x, leaf_y)
@@ -187,6 +214,8 @@ def run_partial(
             if lazy:
                 trace.dirty_revalidations += 1
             if gain <= GAIN_EPS:
+                if recorder is not None:
+                    recorder.on_drop(leaf_x, leaf_y)
                 state.drop_candidate(leaf_x, leaf_y)
                 continue
             # Revalidation: merge the popped pair only while it is still the
@@ -205,6 +234,8 @@ def run_partial(
                     gain == next_gain
                     and interner.pair_key(pair) > interner.pair_key(next_pair)
                 ):
+                    if recorder is not None:
+                        recorder.on_push(leaf_x, leaf_y)
                     state.queue.set(
                         pair,
                         gain,
@@ -212,6 +243,8 @@ def run_partial(
                     )
                     continue
 
+        if recorder is not None:
+            recorder.on_merge(leaf_x, leaf_y, gain, breakdown, clean)
         num_leafsets = db.num_leafsets
         possible = num_leafsets * (num_leafsets - 1) // 2
         related_x = state.related(leaf_x)
@@ -228,13 +261,16 @@ def run_partial(
         for leaf in outcome.removed_leafsets:
             state.drop_leafset(leaf)
         if update_scope == "related":
-            gains_computed += _update_related(
+            refresh_gains = _update_related(
                 db, state, outcome, related_x, related_y, net_gain
             )
         elif update_scope == "exhaustive":
-            gains_computed += _update_exhaustive(db, state, outcome, net_gain)
+            refresh_gains = _update_exhaustive(db, state, outcome, net_gain)
         else:
-            gains_computed += _update_lazy(db, state, outcome, net_gain, trace)
+            refresh_gains = _update_lazy(db, state, outcome, net_gain, trace)
+        gains_computed += refresh_gains
+        if recorder is not None:
+            recorder.on_refresh_gains(refresh_gains)
 
         trace.iterations.append(
             IterationTrace(
@@ -387,8 +423,12 @@ def _update_lazy(
     """The bound-driven refresh: recompute only pairs that can rise.
 
     Walks the same neighbourhood as :func:`_update_exhaustive` but
-    skips, with two mask ANDs, the pairs whose gain provably did not
-    change for the better:
+    skips the pairs whose gain provably did not change for the better.
+    The union-level tests are answered in bulk (one
+    :meth:`~repro.core.masks.base.MaskBackend.overlaps_many` call per
+    focus leafset over all its untested partners), survivors face a
+    per-coreset confirmation, and queue insertions are applied as one
+    batch per focus leafset:
 
     * current union masks disjoint — every per-coreset intersection is
       empty, the gain is exactly zero; a queued entry is dropped.
@@ -398,20 +438,32 @@ def _update_lazy(
       per-coreset state, so the gain is unchanged; a queued entry keeps
       its stored value (still a sound upper bound from its own
       validation epoch), an absent pair stays provably non-positive.
+    * the per-coreset refinement of the same test
+      (:attr:`MergeOutcome.touched_core_rows`): every gain term is
+      gated on a non-empty *same-coreset* intersection, so a pair whose
+      partner rows are disjoint from the focus leafset's role rows at
+      every touched coreset is unchanged even when the whole-union
+      masks collide across coresets (each vertex keeps one global bit,
+      so the union test conflates coresets).
 
     Pairs not involving a merge participant are never refreshed at all:
     their gain can only fall (only ``fe`` shrank), so their stored
     gains remain upper bounds and the queue-head revalidation in
     :func:`run_partial` settles them if they ever surface.  Returns the
-    number of gain computations; skips are counted on ``trace``.
+    number of gain computations; every skip — union-level or
+    per-coreset — is counted on ``trace``.
     """
     gains = 0
     interner = state.interner
     new_leaf = outcome.new_leafset
     epoch = db.merge_epoch
     union_of = db.leaf_union_mask
-    overlaps = db.mask_backend.union_overlaps
+    backend = db.mask_backend
+    overlaps = backend.union_overlaps
+    overlaps_many = backend.overlaps_many
+    row_of = db.row_mask
     touched_unions = outcome.touched_row_unions
+    touched_rows = outcome.touched_core_rows
     focus, rel_pool = _refresh_pool(db, outcome)
     rel_ordered = interner.order(rel_pool)
     queue = state.queue
@@ -420,7 +472,12 @@ def _update_lazy(
         if not db.has_leafset(leaf):
             continue
         touched_mask = touched_unions.get(leaf)
+        role_rows = touched_rows.get(leaf, ())
         leaf_union = union_of(leaf)
+        # Gather this focus leafset's untested partners, then answer
+        # both union-level skip tests for the whole batch at once.
+        rels: List[LeafKey] = []
+        pairs: List[Pair] = []
         for rel in rel_ordered:
             if rel == leaf or not db.has_leafset(rel):
                 continue
@@ -428,21 +485,42 @@ def _update_lazy(
             if pair in refreshed:
                 continue
             refreshed.add(pair)
-            rel_union = union_of(rel)
-            if not overlaps(leaf_union, rel_union):
-                if pair in queue:
+            rels.append(rel)
+            pairs.append(pair)
+        if not rels:
+            continue
+        rel_unions = [union_of(rel) for rel in rels]
+        alive = overlaps_many(leaf_union, rel_unions)
+        touched = (
+            overlaps_many(touched_mask, rel_unions)
+            if touched_mask is not None
+            else None
+        )
+        additions: List[Tuple[LeafKey, LeafKey, float, object]] = []
+        for index, rel in enumerate(rels):
+            if not alive[index]:
+                if pairs[index] in queue:
                     state.drop_candidate(leaf, rel)
                 trace.refreshes_skipped += 1
                 continue
-            if touched_mask is None or not overlaps(touched_mask, rel_union):
+            if touched is None or not touched[index]:
+                trace.refreshes_skipped += 1
+                continue
+            for core, role_mask in role_rows:
+                rel_row = row_of(core, rel)
+                if rel_row is not None and overlaps(role_mask, rel_row):
+                    break
+            else:
                 trace.refreshes_skipped += 1
                 continue
             breakdown, gain = net_gain(leaf, rel)
             gains += 1
             if gain > GAIN_EPS:
-                state.add_candidate(leaf, rel, gain, payload=(breakdown, epoch))
-            elif pair in queue:
+                additions.append((leaf, rel, gain, (breakdown, epoch)))
+            elif pairs[index] in queue:
                 state.drop_candidate(leaf, rel)
+        if additions:
+            state.add_candidates(additions)
     if db.has_leafset(new_leaf):
         for leaf, rel in _subset_union_pairs(interner, rel_pool, focus, new_leaf):
             pair = interner.canonical_pair(leaf, rel)

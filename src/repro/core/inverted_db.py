@@ -118,6 +118,16 @@ class MergeOutcome:
     term requires a non-empty per-coreset intersection), which is what
     lets the lazy refresh skip provably-unchanged pairs with one AND.
     The masks are values of the owning database's mask backend.
+
+    ``touched_core_rows`` is the per-coreset refinement of the same
+    information: for each participating leafset, the list of
+    ``(coreset, row mask)`` pairs over the touched coresets — the
+    survivors' *pre-merge* rows (which contain their post-merge
+    remainders), the new leafset's *post-merge* rows.  A pair's gain
+    can only have changed if some touched coreset's role row intersects
+    the partner's row *at that same coreset*, which is strictly sharper
+    than the whole-union test.  Masks are references into the merge's
+    own working values — never mutated, safe to hold.
     """
 
     leaf_x: LeafKey
@@ -126,6 +136,9 @@ class MergeOutcome:
     stats: List[CoresetMergeStats] = field(default_factory=list)
     removed_leafsets: Set[LeafKey] = field(default_factory=set)
     touched_row_unions: Dict[LeafKey, Mask] = field(default_factory=dict)
+    touched_core_rows: Dict[LeafKey, List[Tuple[CoreKey, Mask]]] = field(
+        default_factory=dict
+    )
 
     @property
     def touched_coresets(self) -> List[CoreKey]:
@@ -154,7 +167,11 @@ class InvertedDatabase:
             mask_backend if mask_backend is not None else BigintMaskBackend()
         )
         self._rows: Dict[RowKey, Mask] = {}
-        self._leaf_to_cores: Dict[LeafKey, Set[CoreKey]] = {}
+        # Values are insertion-ordered coreset "sets" (dict keys -> None):
+        # gain terms accumulate over this iteration order, so it must be
+        # deterministic and survive copies — plain sets would make the
+        # floats depend on the hash seed and the table's history.
+        self._leaf_to_cores: Dict[LeafKey, Dict[CoreKey, None]] = {}
         self._core_to_leaves: Dict[CoreKey, Set[LeafKey]] = {}
         self._core_freq: Dict[CoreKey, int] = {}
         self._vertex_ids: List[Vertex] = []
@@ -589,7 +606,7 @@ class InvertedDatabase:
                 leaf = leaf_by_ordinal[ordinal]
                 row_indexes = leaf_order_list[start:end]
                 row_masks = [built[i] for i in row_indexes]
-                cores = {keys[i][0] for i in row_indexes}
+                cores = dict.fromkeys(keys[i][0] for i in row_indexes)
                 have = leaf_to_cores.get(leaf)
                 if have is None:
                     leaf_to_cores[leaf] = cores
@@ -697,10 +714,10 @@ class InvertedDatabase:
             for ordinal, leaf, mask in zip(ordered, leaves, built):
                 cores = leaf_to_cores.get(leaf)
                 if cores is None:
-                    leaf_to_cores[leaf] = {core_key}
+                    leaf_to_cores[leaf] = {core_key: None}
                     leaf_masks[ordinal] = [mask]
                 else:
-                    cores.add(core_key)
+                    cores[core_key] = None
                     leaf_masks[ordinal].append(mask)
         self._materialise_unions(leaf_masks, leaf_by_ordinal)
         self._initial_row_order = row_order
@@ -779,7 +796,7 @@ class InvertedDatabase:
         if current is None:
             self._rows[key] = masks.make((bit,))
             self._row_freq[key] = 1
-            self._leaf_to_cores.setdefault(leaf, set()).add(core)
+            self._leaf_to_cores.setdefault(leaf, {})[core] = None
             self._core_to_leaves.setdefault(core, set()).add(leaf)
             self._core_freq[core] = self._core_freq.get(core, 0) + 1
             union = self._leaf_union.get(leaf)
@@ -958,6 +975,16 @@ class InvertedDatabase:
         """``fL`` of the row (0 if the row does not exist)."""
         return self._row_freq.get((core, leaf), 0)
 
+    def row_mask(self, core: CoreKey, leaf: LeafKey) -> Optional[Mask]:
+        """The row's raw position mask, or ``None`` when absent.
+
+        A backend value of :attr:`mask_backend` — read-only, like every
+        mask the database hands out.  The lazy refresh's per-coreset
+        touched test reads partner rows through this instead of
+        decoding positions.
+        """
+        return self._rows.get((core, leaf))
+
     def coreset_frequency(self, core: CoreKey) -> int:
         """``fc``: total row frequency of ``core`` (== sum_i l_ic)."""
         return self._core_freq.get(core, 0)
@@ -1033,6 +1060,9 @@ class InvertedDatabase:
         union_new = masks.empty()
         touched = False
         row_freq = self._row_freq
+        core_rows_x: List[Tuple[CoreKey, Mask]] = []
+        core_rows_y: List[Tuple[CoreKey, Mask]] = []
+        core_rows_new: List[Tuple[CoreKey, Mask]] = []
         for core in sorted(self.common_coresets(leaf_x, leaf_y), key=_key_of):
             px = self._rows[(core, leaf_x)]
             py = self._rows[(core, leaf_y)]
@@ -1053,13 +1083,16 @@ class InvertedDatabase:
             self._core_epoch[core] = epoch
             union_x = masks.or_(union_x, px)
             union_y = masks.or_(union_y, py)
+            core_rows_x.append((core, px))
+            core_rows_y.append((core, py))
             target_key = (core, new_leaf)
             target = self._rows.get(target_key)
             if target is None:
                 self._rows[target_key] = inter
                 row_freq[target_key] = count
                 union_new = masks.or_(union_new, inter)
-                self._leaf_to_cores.setdefault(new_leaf, set()).add(core)
+                core_rows_new.append((core, inter))
+                self._leaf_to_cores.setdefault(new_leaf, {})[core] = None
                 self._core_to_leaves.setdefault(core, set()).add(new_leaf)
                 insort(self._core_leaf_ids[core], new_id)
             else:
@@ -1069,6 +1102,7 @@ class InvertedDatabase:
                 self._rows[target_key] = merged
                 row_freq[target_key] += count
                 union_new = masks.or_(union_new, merged)
+                core_rows_new.append((core, merged))
             # Each merged position replaces two row usages by one.
             self._core_freq[core] -= count
             for leaf, remaining in (
@@ -1087,7 +1121,7 @@ class InvertedDatabase:
                         del self._core_to_leaves[core]
                         del self._core_leaf_ids[core]
                     cores = self._leaf_to_cores[leaf]
-                    cores.discard(core)
+                    cores.pop(core, None)
                     if not cores:
                         del self._leaf_to_cores[leaf]
                         del self._leaf_union[leaf]
@@ -1097,6 +1131,11 @@ class InvertedDatabase:
                 leaf_x: union_x,
                 leaf_y: union_y,
                 new_leaf: union_new,
+            }
+            outcome.touched_core_rows = {
+                leaf_x: core_rows_x,
+                leaf_y: core_rows_y,
+                new_leaf: core_rows_new,
             }
             self._leaf_epoch[leaf_x] = epoch
             self._leaf_epoch[leaf_y] = epoch
@@ -1226,7 +1265,7 @@ class InvertedDatabase:
         db = InvertedDatabase(mask_backend=self._masks)
         db._rows = dict(self._rows)
         db._leaf_to_cores = {
-            leaf: set(cores) for leaf, cores in self._leaf_to_cores.items()
+            leaf: dict(cores) for leaf, cores in self._leaf_to_cores.items()
         }
         db._core_to_leaves = {
             core: set(leaves) for core, leaves in self._core_to_leaves.items()
@@ -1249,6 +1288,63 @@ class InvertedDatabase:
             if self._initial_row_order is not None
             else None
         )
+        return db
+
+    def restricted_copy(self, leafsets: Iterable[LeafKey]) -> "InvertedDatabase":
+        """An independent database holding only ``leafsets`` and their rows.
+
+        The sub-database behind the component-sharded search: given a
+        *coreset-closed* leafset set (every coreset reachable from a
+        member has all of its leafsets in the set — exactly what a
+        connected component of the coreset-sharing graph is), the copy
+        behaves identically to the full database restricted to those
+        leafsets: same rows, same coreset frequencies, and a fresh
+        interner whose first-sight ids are the repr-sorted order of the
+        member leafsets — order-isomorphic to the parent's ids
+        restricted to the set, so pair tie-breaks agree.  Mask values,
+        the vertex->bit table and the vertex order are shared (all
+        post-construction mask ops are pure).  Epochs restart at zero.
+
+        Raises :class:`MiningError` when the set is not coreset-closed
+        (a merge outside the set could then change these rows' gains).
+        """
+        keep = set(leafsets)
+        db = InvertedDatabase(mask_backend=self._masks)
+        db._vertex_ids = self._vertex_ids
+        db._vertex_bit = self._vertex_bit
+        db._vertex_order_frozen = True
+        rows = db._rows
+        row_freq = db._row_freq
+        cores: Set[CoreKey] = set()
+        for leaf in keep:
+            leaf_cores = self._leaf_to_cores.get(leaf)
+            if leaf_cores is None:
+                raise MiningError(
+                    f"leafset {set(leaf)} not present in the database"
+                )
+            db._leaf_to_cores[leaf] = dict(leaf_cores)
+            db._leaf_union[leaf] = self._leaf_union[leaf]
+            cores.update(leaf_cores)
+            for core in leaf_cores:
+                key = (core, leaf)
+                rows[key] = self._rows[key]
+                row_freq[key] = self._row_freq[key]
+        for core in cores:
+            members = self._core_to_leaves[core]
+            if not members <= keep:
+                raise MiningError(
+                    "restricted_copy requires a coreset-closed leafset set: "
+                    f"coreset {set(core)} has leafsets outside it"
+                )
+            db._core_to_leaves[core] = set(members)
+            db._core_freq[core] = self._core_freq[core]
+        ordered = sorted(db._leaf_to_cores, key=_key_of)
+        db._interner.intern_all(ordered)
+        intern = db._interner.intern
+        db._core_leaf_ids = {
+            core: sorted(intern(leaf) for leaf in leaves)
+            for core, leaves in db._core_to_leaves.items()
+        }
         return db
 
     def __repr__(self) -> str:

@@ -132,6 +132,33 @@ class NumpyChunkedMaskBackend(MaskBackend):
                 return False
         return True
 
+    def overlaps_many(
+        self, mask: NumpyMask, others: Sequence[NumpyMask]
+    ) -> List[bool]:
+        result = [False] * len(others)
+        if not mask or not others:
+            return result
+        # One vectorised AND per probe chunk: stack the word arrays of
+        # every partner that stores the chunk (and is still undecided)
+        # and answer the whole batch with a single matrix op.
+        for chunk, words in mask.items():
+            rows = []
+            indices = []
+            for index, other in enumerate(others):
+                if result[index]:
+                    continue
+                other_words = other.get(chunk)
+                if other_words is not None:
+                    rows.append(other_words)
+                    indices.append(index)
+            if not rows:
+                continue
+            hits = (np.stack(rows) & words).any(axis=1)
+            for index, hit in zip(indices, hits.tolist()):
+                if hit:
+                    result[index] = True
+        return result
+
     def or_(self, a: NumpyMask, b: NumpyMask) -> NumpyMask:
         if len(a) < len(b):
             a, b = b, a

@@ -49,7 +49,7 @@ class CSPM:
         override the corresponding config fields.
     method, coreset_encoder, include_model_cost, max_iterations, \
     partial_update_scope, top_k, min_leafset, mask_backend, \
-    construction, construction_workers:
+    construction, construction_workers, search, search_workers:
         Legacy/convenience knobs; see :class:`~repro.config.CSPMConfig`
         for their meaning.
     """
@@ -66,6 +66,8 @@ class CSPM:
         mask_backend: str = _UNSET,
         construction: str = _UNSET,
         construction_workers: Optional[int] = _UNSET,
+        search: str = _UNSET,
+        search_workers: Optional[int] = _UNSET,
         config: Optional[CSPMConfig] = None,
     ) -> None:
         overrides = {
@@ -81,6 +83,8 @@ class CSPM:
                 ("mask_backend", mask_backend),
                 ("construction", construction),
                 ("construction_workers", construction_workers),
+                ("search", search),
+                ("search_workers", search_workers),
             )
             if value is not _UNSET
         }
@@ -129,6 +133,14 @@ class CSPM:
     @property
     def construction_workers(self) -> Optional[int]:
         return self.config.construction_workers
+
+    @property
+    def search(self) -> str:
+        return self.config.search
+
+    @property
+    def search_workers(self) -> Optional[int]:
+        return self.config.search_workers
 
     def __repr__(self) -> str:
         return f"CSPM({self.config.describe()})"

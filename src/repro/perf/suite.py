@@ -78,6 +78,18 @@ asserted: ``max_construction_seconds`` entries in the bounds file are
 path for every workload; both paths construct the identical database,
 so all counter bounds apply unchanged.
 
+Schema v5 adds the search layer: every run records ``search_seconds``
+(the measured search-phase wall-clock — construction is timed
+separately) and, for the CSPM-Partial runs, the execution mode in
+``search`` (``serial``/``sharded``); every series entry records
+``num_components`` and ``largest_component_frac`` — the connected
+components of the coreset-overlap graph, the structural quantity that
+bounds how much the sharded search (:mod:`repro.core.search_shard`)
+can parallelise.  The suite-level ``--search``/``--search-workers``
+flags select the execution for every partial run; the sharded path is
+bit-exact with the serial one, so all counter bounds apply unchanged —
+the CI sharded smoke's gate.
+
 A single workload family can be re-measured without discarding the
 rest of an existing document: ``--workload <name>`` (repeatable)
 restricts the run, and when the output file already exists its other
@@ -85,15 +97,17 @@ workload entries are carried over unchanged (see :func:`merge_into`).
 ``--list-workloads`` (or ``--list``) prints the registered families
 with their quick/full member sizes instead of running anything.
 
-Output document (``BENCH_cspm.json``, schema v4)::
+Output document (``BENCH_cspm.json``, schema v5)::
 
     {
-      "schema_version": 4,
+      "schema_version": 5,
       "suite": "cspm-perf",
       "quick": bool,
       "mask_backend": "auto",                    # the suite-level request
       "construction": "serial",                  # the suite-level build path
       "construction_workers": null,
+      "search": "serial",                        # the suite-level search path
+      "search_workers": null,
       "workloads": [
         {
           "workload": "sparse-scaling",
@@ -103,6 +117,8 @@ Output document (``BENCH_cspm.json``, schema v4)::
               "label": "communities=16",
               "num_vertices": int, "num_leafsets": int,
               "possible_pairs": int,
+              "num_components": int,             # coreset-overlap components
+              "largest_component_frac": float,
               "mask_backend": "bigint",          # resolved for this graph
               "bigint_mask_bytes_estimate": int, # whole-graph-int reference
               "construction_seconds": float,     # BuildInvertedDB wall-clock
@@ -110,12 +126,15 @@ Output document (``BENCH_cspm.json``, schema v4)::
               "runs": {
                 "partial/overlap": {
                   "wall_seconds": float,
+                  "search_seconds": float,       # == wall (search phase only)
                   "initial_candidate_gains": int,
                   "total_gain_computations": int,
                   "peak_queue_size": int,
                   "refreshes_skipped": int,
                   "dirty_revalidations": int,
                   "update_scope": "lazy",         # partial runs only
+                  "search": "serial",             # partial runs only
+                  "search_workers": int,          # sharded runs only
                   "iterations": int,
                   "final_dl_bits": float,
                   "mask_backend": "bigint",
@@ -143,15 +162,16 @@ import sys
 import time
 from typing import Any, Dict, List, Optional, Sequence
 
-from repro.config import CONSTRUCTIONS, MASK_BACKENDS, CSPMConfig
+from repro.config import CONSTRUCTIONS, MASK_BACKENDS, SEARCHES, CSPMConfig
 from repro.core.cspm_basic import run_basic
 from repro.core.cspm_partial import run_partial
+from repro.core.search_shard import connected_components, run_sharded
 from repro.datasets import load_dataset
 from repro.datasets.synthetic import community_attributed_graph
 from repro.graphs.attributed_graph import AttributedGraph
 from repro.pipeline import BuildInvertedDB, EncodeCoresets, PipelineContext
 
-SCHEMA_VERSION = 4
+SCHEMA_VERSION = 5
 
 WORKLOAD_NAMES = (
     "sparse-scaling",
@@ -283,17 +303,38 @@ def _run_case(
     algorithm: str,
     pair_source: str,
     initial_mask_bytes: int,
+    search: str = "serial",
+    search_workers: Optional[int] = None,
 ) -> Dict[str, Any]:
-    """One measured search run on a fresh copy of the database."""
+    """One measured search run on a fresh copy of the database.
+
+    ``search`` selects the CSPM-Partial execution: ``sharded`` runs
+    :func:`repro.core.search_shard.run_sharded` (bit-exact with the
+    serial loop, so every recorded counter is identical by contract);
+    ``basic`` runs always stay serial.
+    """
     db = db0.copy()
-    runner = run_basic if algorithm == "basic" else run_partial
     start = time.perf_counter()
-    trace = runner(
-        db, standard, core, initial_dl_bits=initial_bits, pair_source=pair_source
-    )
+    if algorithm == "basic":
+        trace = run_basic(
+            db, standard, core, initial_dl_bits=initial_bits,
+            pair_source=pair_source,
+        )
+    elif search == "sharded":
+        sharded = run_sharded(
+            db, standard, core, initial_dl_bits=initial_bits,
+            pair_source=pair_source, workers=search_workers,
+        )
+        trace = sharded.trace
+    else:
+        trace = run_partial(
+            db, standard, core, initial_dl_bits=initial_bits,
+            pair_source=pair_source,
+        )
     wall = time.perf_counter() - start
     entry = {
         "wall_seconds": round(wall, 6),
+        "search_seconds": round(wall, 6),
         "initial_candidate_gains": trace.initial_candidate_gains,
         "total_gain_computations": trace.total_gain_computations,
         "peak_queue_size": trace.peak_queue_size,
@@ -315,6 +356,9 @@ def _run_case(
         # run_partial's default scope — the algorithm string is
         # "cspm-partial/<scope>".
         entry["update_scope"] = trace.algorithm.rsplit("/", 1)[-1]
+        entry["search"] = search
+        if search == "sharded":
+            entry["search_workers"] = search_workers
     return entry
 
 
@@ -326,6 +370,8 @@ def _measure_size(
     pair_sources: Sequence[str] = ("overlap", "full"),
     construction: str = "serial",
     construction_workers: Optional[int] = None,
+    search: str = "serial",
+    search_workers: Optional[int] = None,
     workload: Optional[str] = None,
 ) -> Dict[str, Any]:
     """All (algorithm, pair_source) runs for one workload size."""
@@ -337,6 +383,12 @@ def _measure_size(
     )
     num_leafsets = db0.num_leafsets
     initial_mask_bytes = db0.mask_memory_bytes()
+    # Structural component statistics (schema v5): what bounds the
+    # sharded search's available parallelism on this graph.
+    components = connected_components(db0)
+    largest_component = max(
+        (len(component) for component in components), default=0
+    )
     runs: Dict[str, Dict[str, Any]] = {}
     algorithms = ["partial"] + (["basic"] if run_basic_too else [])
     for algorithm in algorithms:
@@ -349,12 +401,18 @@ def _measure_size(
                 algorithm,
                 pair_source,
                 initial_mask_bytes,
+                search=search,
+                search_workers=search_workers,
             )
     entry: Dict[str, Any] = {
         "label": label,
         "num_vertices": graph.num_vertices,
         "num_leafsets": num_leafsets,
         "possible_pairs": num_leafsets * (num_leafsets - 1) // 2,
+        "num_components": len(components),
+        "largest_component_frac": round(
+            largest_component / num_leafsets if num_leafsets else 0.0, 6
+        ),
         "mask_backend": db0.mask_backend.name,
         "bigint_mask_bytes_estimate": db0.bigint_mask_bytes_estimate(),
         "construction_seconds": round(construction_seconds, 6),
@@ -480,6 +538,8 @@ def run_suite(
     mask_backend: str = "auto",
     construction: str = "serial",
     construction_workers: Optional[int] = None,
+    search: str = "serial",
+    search_workers: Optional[int] = None,
 ) -> Dict[str, Any]:
     """Run the workloads and return the ``BENCH_cspm.json`` document.
 
@@ -493,6 +553,9 @@ def run_suite(
     ``construction``/``construction_workers`` select the build path
     the same way — the partitioned path must reproduce the serial
     counters exactly, which is the CI partitioned smoke's gate.
+    ``search``/``search_workers`` select the CSPM-Partial execution
+    (schema v5): the component-sharded path stitches a bit-exact
+    serial-equivalent trace, so the same counter bounds gate it too.
     """
     if only:
         unknown = sorted(set(only) - set(WORKLOAD_NAMES))
@@ -510,6 +573,10 @@ def run_suite(
             f"unknown construction {construction!r}; "
             f"available: {list(CONSTRUCTIONS)}"
         )
+    if search not in SEARCHES:
+        raise ValueError(
+            f"unknown search {search!r}; available: {list(SEARCHES)}"
+        )
 
     def wanted(name: str) -> bool:
         return not only or name in only
@@ -524,6 +591,8 @@ def run_suite(
             label,
             construction=construction,
             construction_workers=construction_workers,
+            search=search,
+            search_workers=search_workers,
             workload=workload,
             **kwargs,
         )
@@ -625,6 +694,8 @@ def run_suite(
         "mask_backend": mask_backend,
         "construction": construction,
         "construction_workers": construction_workers,
+        "search": search,
+        "search_workers": search_workers,
         "workloads": workloads,
     }
 
@@ -927,6 +998,24 @@ def add_bench_arguments(parser: argparse.ArgumentParser) -> None:
         "(default: one per CPU)",
     )
     parser.add_argument(
+        "--search",
+        dest="search",
+        choices=SEARCHES,
+        default="serial",
+        help="CSPM-Partial execution for every workload; the component-"
+        "sharded path stitches a bit-exact serial-equivalent trace, so "
+        "counter bounds apply unchanged (the CI sharded smoke's gate)",
+    )
+    parser.add_argument(
+        "--search-workers",
+        dest="search_workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes for --search sharded "
+        "(default: one per CPU)",
+    )
+    parser.add_argument(
         "--list-workloads",
         "--list",
         dest="list_workloads",
@@ -956,6 +1045,8 @@ def execute(args) -> int:
         mask_backend=args.mask_backend,
         construction=args.construction,
         construction_workers=args.construction_workers,
+        search=args.search,
+        search_workers=args.search_workers,
     )
     document = fresh
     if args.workloads:

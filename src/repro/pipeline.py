@@ -237,6 +237,14 @@ class Search(PipelineStage):
     in sorted order, only when first accessed (e.g. at serialisation,
     whose floats must be hash-seed- and accumulation-order-independent);
     tests validate the incremental totals against that recompute.
+
+    ``config.search="sharded"`` routes uncapped partial runs through
+    the component-sharded parallel search
+    (:mod:`repro.core.search_shard`) — bit-identical trace and result,
+    with the search wall-clock and component stats recorded in
+    ``context.extras`` (``search_seconds``, ``num_components``,
+    ``largest_component_frac``).  Runs the sharded path cannot express
+    (basic method, ``max_iterations`` caps) fall back to serial.
     """
 
     def __init__(self, pair_source: str = "overlap") -> None:
@@ -257,6 +265,7 @@ class Search(PipelineStage):
             if context.initial_dl is not None
             else None
         )
+        start = time.perf_counter()
         if config.method == "basic":
             context.trace = run_basic(
                 context.inverted_db,
@@ -266,6 +275,24 @@ class Search(PipelineStage):
                 max_iterations=config.max_iterations,
                 initial_dl_bits=initial_bits,
                 pair_source=self.pair_source,
+            )
+        elif config.search == "sharded" and config.max_iterations is None:
+            from repro.core.search_shard import run_sharded
+
+            sharded = run_sharded(
+                context.inverted_db,
+                context.standard_table,
+                context.core_table,
+                include_model_cost=config.include_model_cost,
+                update_scope=config.partial_update_scope,
+                initial_dl_bits=initial_bits,
+                pair_source=self.pair_source,
+                workers=config.search_workers,
+            )
+            context.trace = sharded.trace
+            context.extras["num_components"] = sharded.num_components
+            context.extras["largest_component_frac"] = (
+                sharded.largest_component_frac
             )
         else:
             context.trace = run_partial(
@@ -278,6 +305,7 @@ class Search(PipelineStage):
                 initial_dl_bits=initial_bits,
                 pair_source=self.pair_source,
             )
+        context.extras["search_seconds"] = time.perf_counter() - start
         # No final description_length pass here: the incremental total
         # lives in context.trace.final_dl_bits, and the result computes
         # the component breakdown lazily on first access.

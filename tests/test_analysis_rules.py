@@ -405,8 +405,17 @@ class TestFRK002:
             "core/construction.py", FRK_PAYLOAD_GOOD, ["FRK002"]
         ).clean
 
-    def test_scoped_to_construction_module(self):
+    def test_scoped_to_worker_modules(self):
         assert lint_one("core/other.py", FRK_PAYLOAD_BAD, ["FRK002"]).clean
+
+    def test_gates_sharded_search_module(self):
+        # core/search_shard.py ships the ComponentRun worker payload,
+        # so its dataclasses fall under the same contract.
+        report = lint_one("core/search_shard.py", FRK_PAYLOAD_BAD, ["FRK002"])
+        assert rules_of(report) == ["FRK002"]
+        assert lint_one(
+            "core/search_shard.py", FRK_PAYLOAD_GOOD, ["FRK002"]
+        ).clean
 
 
 # ----------------------------------------------------------------------

@@ -147,9 +147,48 @@ class TestInstrumentation:
         assert all(0.0 <= ratio <= 1.0 for ratio in ratios)
 
     def test_basic_full_scan_ratio_is_one(self, paper_graph):
+        # The reference configuration: quadratic enumeration with the
+        # seed's re-scan-everything strategy touches every pair.
         db, standard, core = setup(paper_graph)
-        trace = run_basic(db, standard, core, pair_source="full")
+        trace = run_basic(db, standard, core, pair_source="full", rescan="full")
         assert all(t.update_ratio == 1.0 for t in trace.iterations)
+
+    def test_basic_restricted_rescan_never_exceeds_full(self, paper_graph):
+        # The touched-neighbourhood rescan computes at most as many
+        # gains per iteration as the full re-enumeration.
+        trace = run_basic(*setup(paper_graph), rescan="restricted")
+        full = run_basic(*setup(paper_graph), rescan="full")
+        for restricted_it, full_it in zip(trace.iterations, full.iterations):
+            assert restricted_it.gains_computed <= full_it.gains_computed
+
+    def test_basic_rejects_unknown_rescan(self, paper_graph):
+        with pytest.raises(MiningError, match="rescan"):
+            run_basic(*setup(paper_graph), rescan="partial")
+
+    @pytest.mark.parametrize("seed", [3, 11, 29])
+    def test_basic_restricted_rescan_bit_exact(self, seed):
+        # Satellite regression: the touched-neighbourhood rescan must
+        # reproduce the full re-enumeration bit-for-bit — identical
+        # merge sequence, DL floats and final database — with only the
+        # per-iteration gain-computation counters allowed to differ.
+        graph = random_graph(seed)
+        traces = {}
+        snapshots = {}
+        for rescan in ("restricted", "full"):
+            db, standard, core = setup(graph)
+            traces[rescan] = run_basic(db, standard, core, rescan=rescan)
+            snapshots[rescan] = db.snapshot()
+        assert snapshots["restricted"] == snapshots["full"]
+        restricted, full = traces["restricted"], traces["full"]
+        assert restricted.initial_dl_bits == full.initial_dl_bits
+        assert restricted.final_dl_bits == full.final_dl_bits
+        assert restricted.initial_candidate_gains == full.initial_candidate_gains
+        assert len(restricted.iterations) == len(full.iterations)
+        for left, right in zip(restricted.iterations, full.iterations):
+            assert left.merged_pair == right.merged_pair
+            assert left.gain == right.gain
+            assert left.total_dl_bits == right.total_dl_bits
+            assert left.gains_computed <= right.gains_computed
 
     def test_basic_overlap_scan_never_exceeds_full(self, paper_graph):
         # Overlap-driven generation touches at most all possible pairs.

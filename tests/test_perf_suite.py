@@ -49,8 +49,8 @@ class TestMeasureSize:
         assert tiny_entry["runs"]["partial/overlap"]["peak_queue_size"] >= 1
         assert tiny_entry["runs"]["basic/overlap"]["peak_queue_size"] == 0
 
-    def test_schema_v4_lazy_counters(self, tiny_entry):
-        assert SCHEMA_VERSION == 4
+    def test_schema_version_and_lazy_counters(self, tiny_entry):
+        assert SCHEMA_VERSION == 5
         partial = tiny_entry["runs"]["partial/overlap"]
         # Partial runs use (and record) the library default scope, and
         # the bound-driven refresh skips at least something on any
@@ -78,6 +78,48 @@ class TestMeasureSize:
         # the tiny label has no recorded pre-columnar baseline.
         assert tiny_entry["construction_seconds"] >= 0.0
         assert "construction_baseline_seconds" not in tiny_entry
+
+    def test_schema_v5_search_fields(self, tiny_entry):
+        # Component statistics live on the series entry; the search
+        # wall-clock and mode on every run (mode on partial runs only,
+        # and the worker knob only when sharded).
+        assert tiny_entry["num_components"] >= 1
+        assert 0.0 < tiny_entry["largest_component_frac"] <= 1.0
+        for run in tiny_entry["runs"].values():
+            assert run["search_seconds"] >= 0.0
+        partial = tiny_entry["runs"]["partial/overlap"]
+        assert partial["search"] == "serial"
+        assert "search_workers" not in partial
+        assert "search" not in tiny_entry["runs"]["basic/overlap"]
+
+    def test_schema_v5_sharded_counters_identical(self):
+        # The sharded path must reproduce the serial counters exactly
+        # -- the property the CI sharded smoke gates on at scale.
+        graph = sparse_scaling_graph(3)
+        serial = _measure_size(graph, "communities=3", run_basic_too=False)
+        sharded = _measure_size(
+            graph,
+            "communities=3",
+            run_basic_too=False,
+            search="sharded",
+            search_workers=2,
+        )
+        run = sharded["runs"]["partial/overlap"]
+        assert run["search"] == "sharded"
+        assert run["search_workers"] == 2
+        volatile = ("wall_seconds", "search_seconds", "search", "search_workers")
+        for name in ("partial/overlap", "partial/full"):
+            left = {
+                k: v
+                for k, v in serial["runs"][name].items()
+                if k not in volatile
+            }
+            right = {
+                k: v
+                for k, v in sharded["runs"][name].items()
+                if k not in volatile
+            }
+            assert left == right
 
     def test_recorded_baselines_attach_to_pokec_labels(self):
         from repro.perf.suite import PRE_COLUMNAR_CONSTRUCTION_SECONDS
@@ -646,6 +688,8 @@ class TestAtomicWrite:
             mask_backend=None,
             construction=None,
             construction_workers=None,
+            search=None,
+            search_workers=None,
             out=str(out),
             check=None,
             list_workloads=False,
