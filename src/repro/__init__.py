@@ -23,6 +23,12 @@ The package is organised around the paper's pipeline:
     -> search -> rank & filter), and the multi-graph :func:`fit_many`
     batch runner.  ``CSPM`` is a thin facade over the default
     pipeline.
+``repro.runtime``
+    The supervised parallel runtime: every worker pool (partitioned
+    construction, sharded search, batch runs) gets per-task timeouts,
+    bounded deterministic retries, bit-exact degrade-to-serial, and
+    reproducible fault injection (:class:`FaultPlan`) — see
+    ``docs/RESILIENCE.md``.
 ``repro.itemsets``
     Krimp and SLIM, the MDL itemset miners used both as the multi-value
     coreset encoder (Section IV-F) and as the runtime baseline of
@@ -76,11 +82,13 @@ from repro.errors import (
     GraphError,
     MiningError,
     ReproError,
+    WorkerFailure,
 )
 from repro.graphs.attributed_graph import AttributedGraph
 from repro.pipeline import MiningPipeline, PipelineContext, PipelineStage
+from repro.runtime import FaultEvent, FaultPlan
 
-__version__ = "1.7.0"
+__version__ = "1.8.0"
 
 __all__ = [
     "AStar",
@@ -93,6 +101,8 @@ __all__ = [
     "CSPMConfig",
     "CSPMResult",
     "ConfigError",
+    "FaultEvent",
+    "FaultPlan",
     "GraphError",
     "MASK_BACKENDS",
     "MaskBackend",
@@ -102,6 +112,7 @@ __all__ = [
     "PipelineStage",
     "ReproError",
     "SEARCHES",
+    "WorkerFailure",
     "fit_many",
     "__version__",
 ]

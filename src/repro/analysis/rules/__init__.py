@@ -14,6 +14,8 @@ FRK       fork/pickle safety: FRK001 pool callables, FRK002 worker
           payload types
 CFG       config drift: CFG001 field/flag wiring, CFG002 to_dict
           omission defaults
+RES       resilience: RES001 pool harvests without a timeout, RES002
+          bare/BaseException handlers outside the supervisor
 ========  ===========================================================
 
 The contracts behind the families are written up in
@@ -25,4 +27,5 @@ from repro.analysis.rules import (  # noqa: F401  (imported for registration)
     determinism,
     fork_safety,
     mask_purity,
+    resilience,
 )

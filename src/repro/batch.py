@@ -22,7 +22,7 @@ Example::
 from __future__ import annotations
 
 import time
-from concurrent.futures import ProcessPoolExecutor
+import traceback as traceback_module
 from dataclasses import dataclass
 from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
 
@@ -30,33 +30,57 @@ from repro.config import CSPMConfig
 from repro.core.result import CSPMResult
 from repro.errors import MiningError
 from repro.graphs.attributed_graph import AttributedGraph
+from repro.runtime.supervisor import RuntimePolicy, SiteReport, run_supervised
 
 EXECUTORS = ("serial", "process")
 
 
 @dataclass
 class BatchRun:
-    """One graph's outcome within a batch."""
+    """One graph's outcome within a batch.
+
+    Exactly one of ``result``/``error`` is set: a run that raised keeps
+    its position in the batch and carries the exception spelled as
+    ``"ExceptionType: message"`` plus the formatted traceback text
+    (a string, because the original traceback object cannot cross a
+    process boundary).
+    """
 
     index: int
-    result: CSPMResult
+    result: Optional[CSPMResult]
     seconds: float
+    error: Optional[str] = None
+    traceback: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
 
     def to_dict(self) -> Dict[str, Any]:
-        """JSON-ready record: index, timing, and the serialised result."""
-        return {
+        """JSON-ready record: index, timing, and the serialised outcome."""
+        document: Dict[str, Any] = {
             "index": self.index,
             "seconds": self.seconds,
-            "result": self.result.to_dict(),
+            "result": self.result.to_dict() if self.result is not None else None,
         }
+        if self.error is not None:
+            document["error"] = self.error
+            document["traceback"] = self.traceback
+        return document
 
 
 @dataclass
 class BatchResult:
-    """All runs of one :func:`fit_many` call, in input order."""
+    """All runs of one :func:`fit_many` call, in input order.
+
+    ``report`` is the supervisor's failure telemetry for the
+    ``"batch"`` site — ``None`` for serial (or single-graph)
+    execution, where no pool exists to supervise.
+    """
 
     runs: List[BatchRun]
     config: CSPMConfig
+    report: Optional[SiteReport] = None
 
     def __len__(self) -> int:
         return len(self.runs)
@@ -68,9 +92,14 @@ class BatchResult:
         return self.runs[index]
 
     @property
-    def results(self) -> List[CSPMResult]:
-        """The per-graph results, in input order."""
+    def results(self) -> List[Optional[CSPMResult]]:
+        """The per-graph results, in input order (``None`` for errors)."""
         return [run.result for run in self.runs]
+
+    @property
+    def errors(self) -> List[BatchRun]:
+        """The runs that failed, in input order (empty when all ok)."""
+        return [run for run in self.runs if not run.ok]
 
     @property
     def total_seconds(self) -> float:
@@ -85,6 +114,11 @@ class BatchResult:
         ]
         for run in self.runs:
             result = run.result
+            if result is None:
+                lines.append(
+                    f"  [{run.index}] {run.seconds:.2f}s  FAILED: {run.error}"
+                )
+                continue
             lines.append(
                 f"  [{run.index}] {run.seconds:.2f}s  "
                 f"{len(result.astars)} a-stars  "
@@ -100,12 +134,30 @@ class BatchResult:
 
 
 def _fit_one(payload: Tuple[int, AttributedGraph, CSPMConfig]) -> BatchRun:
-    """Worker: mine one graph and time it (top-level for pickling)."""
+    """Worker: mine one graph and time it (top-level for pickling).
+
+    A raising run is *isolated*, not fatal: the exception becomes a
+    per-run error record and the other graphs in the batch are
+    unaffected.  Catching here (``Exception``, never
+    ``BaseException`` — a crash or interrupt must stay visible to the
+    supervisor) also means deterministic failures never burn pool
+    retries: only process-level events (crash, hang, pickle) reach the
+    supervisor's failure handling.
+    """
     from repro.pipeline import MiningPipeline
 
     index, graph, config = payload
     start = time.perf_counter()
-    result = MiningPipeline.default(config).run(graph)
+    try:
+        result = MiningPipeline.default(config).run(graph)
+    except Exception as exc:
+        return BatchRun(
+            index=index,
+            result=None,
+            seconds=time.perf_counter() - start,
+            error=f"{type(exc).__name__}: {exc}",
+            traceback=traceback_module.format_exc(),
+        )
     return BatchRun(
         index=index, result=result, seconds=time.perf_counter() - start
     )
@@ -157,8 +209,19 @@ def fit_many(
 
     if executor == "serial" or len(payloads) <= 1:
         runs = [_fit_one(payload) for payload in payloads]
-    else:
-        workers = min(n_jobs, len(payloads))
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            runs = list(pool.map(_fit_one, payloads))
-    return BatchResult(runs=runs, config=config)
+        return BatchResult(runs=runs, config=config)
+    # The pool is supervised (site "batch", task index = run index):
+    # a crashed or hung worker is retried on a fresh pool and, past
+    # the retry budget, the run is mined in-process — per-run
+    # *exceptions* never get that far, ``_fit_one`` already converts
+    # them to error records inside the worker.
+    workers = min(n_jobs, len(payloads))
+    runs, report = run_supervised(
+        "batch",
+        payloads,
+        _fit_one,
+        RuntimePolicy.from_config(config),
+        max_workers=workers,
+        expect_type=BatchRun,
+    )
+    return BatchResult(runs=runs, config=config, report=report)

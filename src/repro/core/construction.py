@@ -47,11 +47,11 @@ graphs, hundreds of thousands of rows) and is *not* the default —
 from __future__ import annotations
 
 import multiprocessing
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, Hashable, List, Mapping, Optional, Tuple
 
 from repro.errors import MiningError
+from repro.runtime.supervisor import RuntimePolicy, SiteReport, run_supervised
 
 Value = Hashable
 Vertex = Hashable
@@ -222,14 +222,25 @@ def build_partitioned(
     plan: Mapping[CoreKey, List[Vertex]],
     neighbor_values: Mapping[Vertex, FrozenSet[Value]],
     workers: Optional[int] = None,
-) -> None:
+    policy: Optional[RuntimePolicy] = None,
+) -> Optional[SiteReport]:
     """Run columnar phase 2 sharded over worker processes.
 
     ``db`` must be freshly planned (``_plan_construction`` done, no
     rows yet); on return it holds exactly what the serial
     ``_build_rows`` would have produced.  With one partition (one
     worker requested, or fewer coresets than workers) the serial path
-    runs in-process — no pool is spun up for degenerate inputs.
+    runs in-process — no pool is spun up for degenerate inputs, and
+    the return value is ``None``.
+
+    Pool execution goes through
+    :func:`repro.runtime.supervisor.run_supervised` (site
+    ``"construction"``, task index = partition index): timeouts,
+    retries and fault injection per ``policy``, with exhausted
+    partitions rebuilt in-process — the parent keeps
+    ``_WORKER_STATE`` installed for exactly that fallback, on fork
+    *and* spawn platforms.  Returns the site's failure-telemetry
+    report.
     """
     if workers is not None and workers < 1:
         raise MiningError(
@@ -244,7 +255,7 @@ def build_partitioned(
         universe.update(values)
     if len(partitions) <= 1:
         db._build_rows(plan, neighbor_values.__getitem__, universe)
-        return
+        return None
     items: List[PlanItem] = list(plan.items())
     bounds: List[Tuple[int, int]] = []
     cursor = 0
@@ -252,24 +263,35 @@ def build_partitioned(
         bounds.append((cursor, cursor + len(part)))
         cursor += len(part)
     state = (db._masks, items, neighbor_values, db._vertex_bit, universe)
-    if "fork" in multiprocessing.get_all_start_methods():
-        # Fork children inherit the parent's memory: the plan, the
-        # neighbour-value table and the vertex->bit table reach the
-        # workers without a single pickle byte.
-        _set_worker_state(state)
-        try:
-            with ProcessPoolExecutor(
+    # The parent installs the worker state unconditionally: fork
+    # children inherit it (the plan, the neighbour-value table and the
+    # vertex->bit table reach the workers without a single pickle
+    # byte), and the supervisor's in-process degraded re-execution
+    # reads it on every platform.
+    _set_worker_state(state)
+    try:
+        if "fork" in multiprocessing.get_all_start_methods():
+            results, report = run_supervised(
+                "construction",
+                bounds,
+                _build_slice,
+                policy,
                 max_workers=len(bounds),
                 mp_context=multiprocessing.get_context("fork"),
-            ) as pool:
-                results = list(pool.map(_build_slice, bounds))
-        finally:
-            _set_worker_state(None)
-    else:  # pragma: no cover - non-fork platforms (Windows/macOS spawn)
-        with ProcessPoolExecutor(
-            max_workers=len(bounds),
-            initializer=_set_worker_state,
-            initargs=(state,),
-        ) as pool:
-            results = list(pool.map(_build_slice, bounds))
+                expect_type=PartitionResult,
+            )
+        else:  # pragma: no cover - non-fork platforms (Windows/macOS)
+            results, report = run_supervised(
+                "construction",
+                bounds,
+                _build_slice,
+                policy,
+                max_workers=len(bounds),
+                initializer=_set_worker_state,
+                initargs=(state,),
+                expect_type=PartitionResult,
+            )
+    finally:
+        _set_worker_state(None)
     _merge_partitions(db, items, results)
+    return report

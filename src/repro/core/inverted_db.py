@@ -213,6 +213,10 @@ class InvertedDatabase:
         # finishes: batch-built masks trust the precomputed table, so
         # implicit lazy extension afterwards would desynchronise them.
         self._vertex_order_frozen: bool = False
+        # Failure telemetry of a supervised partitioned build (a
+        # ``repro.runtime.supervisor.SiteReport``); ``None`` for serial
+        # or degenerate single-partition builds.  Parent-side only.
+        self.construction_report = None
 
     # ------------------------------------------------------------------
     # Construction
@@ -226,6 +230,7 @@ class InvertedDatabase:
         mask_backend: Optional[MaskBackend] = None,
         construction: str = "serial",
         construction_workers: Optional[int] = None,
+        runtime_policy=None,
     ) -> "InvertedDatabase":
         """Build the initial inverted database from an attributed graph.
 
@@ -250,6 +255,12 @@ class InvertedDatabase:
         construction_workers:
             Worker-process count for ``"partitioned"`` (``None`` =
             one per CPU, capped by the partition count).
+        runtime_policy:
+            Optional :class:`repro.runtime.supervisor.RuntimePolicy`
+            for the partitioned path's supervised pool (timeouts,
+            retries, degrade-to-serial, fault injection); the site's
+            failure telemetry lands on ``db.construction_report``.
+            Ignored under serial construction.
 
         Every initial row is ``(Sc, {leaf value})`` with positions the
         vertices where ``Sc`` holds and some neighbour carries the leaf
@@ -275,8 +286,12 @@ class InvertedDatabase:
             )
             from repro.core.construction import build_partitioned
 
-            build_partitioned(
-                db, plan, neighbor_values, workers=construction_workers
+            db.construction_report = build_partitioned(
+                db,
+                plan,
+                neighbor_values,
+                workers=construction_workers,
+                policy=runtime_policy,
             )
         else:
             # Serial construction fuses phase 1's per-vertex work into

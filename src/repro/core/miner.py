@@ -49,7 +49,8 @@ class CSPM:
         override the corresponding config fields.
     method, coreset_encoder, include_model_cost, max_iterations, \
     partial_update_scope, top_k, min_leafset, mask_backend, \
-    construction, construction_workers, search, search_workers:
+    construction, construction_workers, search, search_workers, \
+    worker_timeout, max_task_retries, on_worker_failure, fault_plan:
         Legacy/convenience knobs; see :class:`~repro.config.CSPMConfig`
         for their meaning.
     """
@@ -68,6 +69,10 @@ class CSPM:
         construction_workers: Optional[int] = _UNSET,
         search: str = _UNSET,
         search_workers: Optional[int] = _UNSET,
+        worker_timeout: Optional[float] = _UNSET,
+        max_task_retries: int = _UNSET,
+        on_worker_failure: str = _UNSET,
+        fault_plan=_UNSET,
         config: Optional[CSPMConfig] = None,
     ) -> None:
         overrides = {
@@ -85,6 +90,10 @@ class CSPM:
                 ("construction_workers", construction_workers),
                 ("search", search),
                 ("search_workers", search_workers),
+                ("worker_timeout", worker_timeout),
+                ("max_task_retries", max_task_retries),
+                ("on_worker_failure", on_worker_failure),
+                ("fault_plan", fault_plan),
             )
             if value is not _UNSET
         }
@@ -141,6 +150,22 @@ class CSPM:
     @property
     def search_workers(self) -> Optional[int]:
         return self.config.search_workers
+
+    @property
+    def worker_timeout(self) -> Optional[float]:
+        return self.config.worker_timeout
+
+    @property
+    def max_task_retries(self) -> int:
+        return self.config.max_task_retries
+
+    @property
+    def on_worker_failure(self) -> str:
+        return self.config.on_worker_failure
+
+    @property
+    def fault_plan(self):
+        return self.config.fault_plan
 
     def __repr__(self) -> str:
         return f"CSPM({self.config.describe()})"

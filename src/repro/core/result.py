@@ -60,6 +60,11 @@ class CSPMResult:
     core_table: CoreCodeTable
     inverted_db: Optional[InvertedDatabase] = field(default=None, repr=False)
     config: Optional[CSPMConfig] = None
+    #: Supervised-runtime failure telemetry (per-site retry counts,
+    #: degraded-task lists, the active fault plan), populated only when
+    #: a supervised pool actually ran — ``None`` for serial execution,
+    #: which keeps schema-v1 documents byte-identical.
+    runtime: Optional[Dict[str, Any]] = None
 
     def __post_init__(self) -> None:
         # A None final_dl means "compute on demand": remove the
@@ -185,7 +190,7 @@ class CSPMResult:
         inverted database.  Attribute values must be JSON-compatible
         (strings, numbers) for :meth:`to_json` to succeed.
         """
-        return {
+        document = {
             "schema_version": SCHEMA_VERSION,
             "config": None if self.config is None else self.config.to_dict(),
             "astars": [star.to_dict() for star in self.astars],
@@ -195,6 +200,9 @@ class CSPMResult:
             "standard_table": self.standard_table.to_dict(),
             "core_table": self.core_table.to_dict(),
         }
+        if self.runtime is not None:
+            document["runtime"] = self.runtime
+        return document
 
     @classmethod
     def from_dict(cls, document: Mapping[str, Any]) -> "CSPMResult":
@@ -214,6 +222,7 @@ class CSPMResult:
             core_table=CoreCodeTable.from_dict(document["core_table"]),
             inverted_db=None,
             config=None if config is None else CSPMConfig.from_dict(config),
+            runtime=document.get("runtime"),
         )
 
     def to_json(self, indent: Optional[int] = None) -> str:

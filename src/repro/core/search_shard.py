@@ -63,7 +63,6 @@ columns.
 from __future__ import annotations
 
 import multiprocessing
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import Dict, List, NamedTuple, Optional, Tuple
 
@@ -76,6 +75,7 @@ from repro.core.inverted_db import InvertedDatabase
 from repro.core.mdl import description_length
 from repro.core.pairgen import PAIR_SOURCES, overlap_pairs
 from repro.errors import MiningError
+from repro.runtime.supervisor import RuntimePolicy, SiteReport, run_supervised
 
 #: Queue-operation kinds in a :class:`ComponentRun` op log.
 OP_SET = 0
@@ -127,12 +127,16 @@ class ShardedSearch(NamedTuple):
 
     Parent-side only — never crosses a process boundary (workers return
     :class:`ComponentRun` columns), so it is deliberately not part of
-    the FRK002 worker-payload dataclass contract.
+    the FRK002 worker-payload dataclass contract.  ``report`` is the
+    supervisor's failure telemetry for the ``"search"`` site, ``None``
+    when the components ran in-process (one worker or one component —
+    no pool, nothing to supervise).
     """
 
     trace: RunTrace
     num_components: int
     largest_component_frac: float
+    report: Optional[SiteReport] = None
 
 
 class _RecordingQueue(CandidateQueue):
@@ -301,12 +305,19 @@ def _mine_components(
     pair_source: str,
     components: List[List[int]],
     workers: Optional[int],
-) -> List[ComponentRun]:
+    policy: Optional[RuntimePolicy] = None,
+) -> Tuple[List[ComponentRun], Optional[SiteReport]]:
     """Run :func:`_mine_component` over all components, in order.
 
     Jobs are submitted largest-component-first (the tail of small
     components then packs the stragglers), but results are returned in
-    component order.  One worker — or one component — runs in-process.
+    component order.  One worker — or one component — runs in-process
+    with no supervision (report ``None``).  Pool execution goes
+    through :func:`repro.runtime.supervisor.run_supervised` (site
+    ``"search"``, task index = position in the largest-first
+    submission order): the parent keeps ``_WORKER_STATE`` installed on
+    every platform so an exhausted component degrades to an in-process
+    — bit-exact — re-mine.
     """
     requested = (
         workers if workers is not None else (multiprocessing.cpu_count() or 1)
@@ -323,39 +334,81 @@ def _mine_components(
         update_scope,
         pair_source,
     )
+    report: Optional[SiteReport] = None
     if requested <= 1 or len(jobs) <= 1:
         _set_worker_state(state)
         try:
             results = [_mine_component(job) for job in jobs]
         finally:
             _set_worker_state(None)
-    elif "fork" in multiprocessing.get_all_start_methods():
-        # Fork children inherit the parent's memory: the database and
-        # code tables reach the workers without a single pickle byte.
+    else:
+        # Fork children inherit the parent's memory (the database and
+        # code tables reach the workers without a single pickle byte);
+        # the parent-side state doubles as the supervisor's degraded
+        # re-execution context on every platform.
         _set_worker_state(state)
         try:
-            with ProcessPoolExecutor(
-                max_workers=min(requested, len(jobs)),
-                mp_context=multiprocessing.get_context("fork"),
-            ) as pool:
-                results = list(pool.map(_mine_component, jobs))
+            if "fork" in multiprocessing.get_all_start_methods():
+                results, report = run_supervised(
+                    "search",
+                    jobs,
+                    _mine_component,
+                    policy,
+                    max_workers=min(requested, len(jobs)),
+                    mp_context=multiprocessing.get_context("fork"),
+                    expect_type=ComponentRun,
+                )
+            else:  # pragma: no cover - non-fork platforms
+                results, report = run_supervised(
+                    "search",
+                    jobs,
+                    _mine_component,
+                    policy,
+                    max_workers=min(requested, len(jobs)),
+                    initializer=_set_worker_state,
+                    initargs=(state,),
+                    expect_type=ComponentRun,
+                )
         finally:
             _set_worker_state(None)
-    else:  # pragma: no cover - non-fork platforms (Windows/macOS spawn)
-        with ProcessPoolExecutor(
-            max_workers=min(requested, len(jobs)),
-            initializer=_set_worker_state,
-            initargs=(state,),
-        ) as pool:
-            results = list(pool.map(_mine_component, jobs))
     runs: List[Optional[ComponentRun]] = [None] * len(components)
     for slot, result in zip(order, results):
         runs[slot] = result
-    return runs
+    return runs, report
 
 
-def _desync(detail: str) -> MiningError:
-    return MiningError(f"sharded replay desync: {detail}")
+#: Human-readable names for the event/op kind codes, for diagnostics.
+EV_NAMES = {
+    EV_CLEAN_MERGE: "clean-merge",
+    EV_DIRTY_MERGE: "dirty-merge",
+    EV_PUSH: "push",
+    EV_DROP: "drop",
+}
+OP_NAMES = {OP_SET: "set", OP_DISCARD: "discard"}
+
+
+def _desync(
+    detail: str,
+    component: Optional[int] = None,
+    event_index: Optional[int] = None,
+    kind: Optional[int] = None,
+) -> MiningError:
+    """A stitch mismatch, with enough context to localise the bug.
+
+    A desync is always an implementation bug (the replay contract is
+    exact), so the message carries the coordinates a debugger needs:
+    which component's recording diverged, at which event cursor, on
+    what kind of decision.
+    """
+    context = []
+    if component is not None:
+        context.append(f"component {component}")
+    if event_index is not None:
+        context.append(f"event {event_index}")
+    if kind is not None:
+        context.append(f"kind {EV_NAMES.get(kind, repr(kind))}")
+    suffix = f" ({', '.join(context)})" if context else ""
+    return MiningError(f"sharded replay desync: {detail}{suffix}")
 
 
 def _stitch(
@@ -410,12 +463,16 @@ def _stitch(
                 queue.discard(target)
 
     seed_entries: List[Tuple[Pair, float]] = []
-    for run in runs:
+    for index, run in enumerate(runs):
         end = run.events[0][8] if run.events else len(run.ops)
         leafsets = run.leafsets
-        for kind, id_a, id_b, gain in run.ops[:end]:
+        for op_index, (kind, id_a, id_b, gain) in enumerate(run.ops[:end]):
             if kind != OP_SET:
-                raise _desync("discard recorded during seeding")
+                raise _desync(
+                    f"op {OP_NAMES.get(kind, repr(kind))} recorded during "
+                    f"seeding at op index {op_index}",
+                    component=index,
+                )
             seed_entries.append(((leafsets[id_a], leafsets[id_b]), gain))
     seed_entries.sort(key=lambda entry: pair_key(entry[0]))
     queue.set_many((pair, gain, None) for pair, gain in seed_entries)
@@ -431,18 +488,27 @@ def _stitch(
         pair = entry[0]
         comp = leaf_component.get(pair[0])
         if comp is None:
-            raise _desync("queue head belongs to no component")
+            raise _desync(f"queue head {pair!r} belongs to no component")
         run = runs[comp]
         cursor = cursors[comp]
         if cursor >= len(run.events):
-            raise _desync("component's event log exhausted early")
+            raise _desync(
+                "component's event log exhausted early",
+                component=comp,
+                event_index=cursor,
+            )
         event = run.events[cursor]
         kind = event[0]
         if pushed[comp] is not None:
             # The parked merge event resurfacing (no other pair of the
             # component can beat its fresh gain in the meantime).
             if pushed[comp] != pair or kind != EV_DIRTY_MERGE:
-                raise _desync("pushed-back pair did not resurface first")
+                raise _desync(
+                    "pushed-back pair did not resurface first",
+                    component=comp,
+                    event_index=cursor,
+                    kind=kind,
+                )
             pushed[comp] = None
             if lazy:
                 # The serial re-pop is clean: only other components
@@ -459,7 +525,12 @@ def _stitch(
         else:
             expected = (run.leafsets[event[1]], run.leafsets[event[2]])
             if expected != pair:
-                raise _desync("queue head does not match the next event")
+                raise _desync(
+                    "queue head does not match the next event",
+                    component=comp,
+                    event_index=cursor,
+                    kind=kind,
+                )
             if kind == EV_DIRTY_MERGE:
                 pending += 1
                 if _loses_head(queue, pair_key, pair, event[3]):
@@ -472,7 +543,11 @@ def _stitch(
                 cursors[comp] = cursor + 1
                 continue
             elif kind != EV_CLEAN_MERGE:
-                raise _desync(f"unknown event kind {kind!r}")
+                raise _desync(
+                    f"unknown event kind {kind!r}",
+                    component=comp,
+                    event_index=cursor,
+                )
         gain = event[3]
         breakdown = GainBreakdown(event[4], event[5], event[6])
         num_leafsets = db.num_leafsets
@@ -498,7 +573,13 @@ def _stitch(
         )
     for index, run in enumerate(runs):
         if cursors[index] != len(run.events) or pushed[index] is not None:
-            raise _desync("component replay incomplete at termination")
+            raise _desync(
+                f"component replay incomplete at termination "
+                f"({len(run.events) - cursors[index]} events unconsumed"
+                f"{', pair still pushed back' if pushed[index] is not None else ''})",
+                component=index,
+                event_index=cursors[index],
+            )
     trace.final_dl_bits = dl
     trace.peak_queue_size = queue.peak_size
     trace.refreshes_skipped = refreshes_skipped
@@ -532,6 +613,7 @@ def run_sharded(
     initial_dl_bits: Optional[float] = None,
     pair_source: str = "overlap",
     workers: Optional[int] = None,
+    policy: Optional[RuntimePolicy] = None,
 ) -> ShardedSearch:
     """Component-sharded CSPM-Partial, bit-exact with the serial run.
 
@@ -541,6 +623,10 @@ def run_sharded(
     worker-process cap (``None``: the CPU count); iteration caps are
     not supported — a cap cuts the global merge sequence at a point no
     worker can locate, so the pipeline falls back to the serial path.
+    ``policy`` configures the supervised pool (timeouts, retries,
+    degradation, fault injection); degraded components are re-mined
+    in-process, so the bit-exactness contract holds under arbitrary
+    worker failure.
     """
     if update_scope not in UPDATE_SCOPES:
         raise MiningError(
@@ -565,7 +651,7 @@ def run_sharded(
     else:
         initial_gains = len(overlap_pairs(db))
     components = connected_components(db)
-    runs = _mine_components(
+    runs, report = _mine_components(
         db,
         standard_table,
         core_table,
@@ -574,6 +660,7 @@ def run_sharded(
         pair_source,
         components,
         workers,
+        policy,
     )
     trace = _stitch(db, update_scope, initial_dl_bits, initial_gains, runs)
     largest = max((len(component) for component in components), default=0)
@@ -583,4 +670,5 @@ def run_sharded(
         largest_component_frac=(
             largest / num_leafsets if num_leafsets else 0.0
         ),
+        report=report,
     )

@@ -90,6 +90,17 @@ flags select the execution for every partial run; the sharded path is
 bit-exact with the serial one, so all counter bounds apply unchanged —
 the CI sharded smoke's gate.
 
+Schema v6 adds the supervised runtime (:mod:`repro.runtime`): the
+document records the suite-level ``fault_plan`` (the deterministic
+injection schedule of a chaos run, ``null`` for normal runs) plus the
+runtime knobs (``worker_timeout``/``max_task_retries``/
+``on_worker_failure``); supervised sharded runs record ``retries`` and
+``degraded_tasks``, and supervised partitioned builds record
+``construction_retries``/``construction_degraded_tasks`` on the series
+entry.  Injected failures are recovered by retry or bit-exact
+in-process degradation, so **all counter bounds still apply unchanged
+under any fault plan** — that is the CI chaos-smoke job's gate.
+
 A single workload family can be re-measured without discarding the
 rest of an existing document: ``--workload <name>`` (repeatable)
 restricts the run, and when the output file already exists its other
@@ -162,7 +173,13 @@ import sys
 import time
 from typing import Any, Dict, List, Optional, Sequence
 
-from repro.config import CONSTRUCTIONS, MASK_BACKENDS, SEARCHES, CSPMConfig
+from repro.config import (
+    CONSTRUCTIONS,
+    MASK_BACKENDS,
+    ON_WORKER_FAILURE,
+    SEARCHES,
+    CSPMConfig,
+)
 from repro.core.cspm_basic import run_basic
 from repro.core.cspm_partial import run_partial
 from repro.core.search_shard import connected_components, run_sharded
@@ -170,8 +187,9 @@ from repro.datasets import load_dataset
 from repro.datasets.synthetic import community_attributed_graph
 from repro.graphs.attributed_graph import AttributedGraph
 from repro.pipeline import BuildInvertedDB, EncodeCoresets, PipelineContext
+from repro.runtime.supervisor import RuntimePolicy
 
-SCHEMA_VERSION = 5
+SCHEMA_VERSION = 6
 
 WORKLOAD_NAMES = (
     "sparse-scaling",
@@ -269,12 +287,16 @@ def _prepare(
     mask_backend: str = "auto",
     construction: str = "serial",
     construction_workers: Optional[int] = None,
+    runtime_kwargs: Optional[Dict[str, Any]] = None,
 ):
     """Encode coresets + build the inverted DB once per workload size.
 
     Returns the database, the code tables, the initial DL bits and the
     construction wall-clock (the ``BuildInvertedDB`` stage records it
     in ``context.extras`` — schema v4's ``construction_seconds``).
+    ``runtime_kwargs`` carries the supervised-runtime config fields
+    (timeout/retries/failure mode/fault plan) into the build; the
+    site's telemetry lands on ``db.construction_report``.
     """
     context = PipelineContext(
         graph=graph,
@@ -282,6 +304,7 @@ def _prepare(
             mask_backend=mask_backend,
             construction=construction,
             construction_workers=construction_workers,
+            **(runtime_kwargs or {}),
         ),
     )
     EncodeCoresets().run(context)
@@ -305,15 +328,19 @@ def _run_case(
     initial_mask_bytes: int,
     search: str = "serial",
     search_workers: Optional[int] = None,
+    policy: Optional[RuntimePolicy] = None,
 ) -> Dict[str, Any]:
     """One measured search run on a fresh copy of the database.
 
     ``search`` selects the CSPM-Partial execution: ``sharded`` runs
     :func:`repro.core.search_shard.run_sharded` (bit-exact with the
-    serial loop, so every recorded counter is identical by contract);
-    ``basic`` runs always stay serial.
+    serial loop, so every recorded counter is identical by contract)
+    under ``policy``'s supervision, recording schema v6's ``retries``/
+    ``degraded_tasks`` when a pool actually ran; ``basic`` runs always
+    stay serial.
     """
     db = db0.copy()
+    report = None
     start = time.perf_counter()
     if algorithm == "basic":
         trace = run_basic(
@@ -324,8 +351,10 @@ def _run_case(
         sharded = run_sharded(
             db, standard, core, initial_dl_bits=initial_bits,
             pair_source=pair_source, workers=search_workers,
+            policy=policy,
         )
         trace = sharded.trace
+        report = sharded.report
     else:
         trace = run_partial(
             db, standard, core, initial_dl_bits=initial_bits,
@@ -359,6 +388,9 @@ def _run_case(
         entry["search"] = search
         if search == "sharded":
             entry["search_workers"] = search_workers
+    if report is not None:
+        entry["retries"] = report.retries
+        entry["degraded_tasks"] = list(report.degraded_tasks)
     return entry
 
 
@@ -373,6 +405,7 @@ def _measure_size(
     search: str = "serial",
     search_workers: Optional[int] = None,
     workload: Optional[str] = None,
+    runtime_kwargs: Optional[Dict[str, Any]] = None,
 ) -> Dict[str, Any]:
     """All (algorithm, pair_source) runs for one workload size."""
     db0, standard, core, initial_bits, construction_seconds = _prepare(
@@ -380,6 +413,10 @@ def _measure_size(
         mask_backend=mask_backend,
         construction=construction,
         construction_workers=construction_workers,
+        runtime_kwargs=runtime_kwargs,
+    )
+    policy = RuntimePolicy.from_config(
+        CSPMConfig(**(runtime_kwargs or {}))
     )
     num_leafsets = db0.num_leafsets
     initial_mask_bytes = db0.mask_memory_bytes()
@@ -403,6 +440,7 @@ def _measure_size(
                 initial_mask_bytes,
                 search=search,
                 search_workers=search_workers,
+                policy=policy,
             )
     entry: Dict[str, Any] = {
         "label": label,
@@ -421,6 +459,14 @@ def _measure_size(
     baseline = PRE_COLUMNAR_CONSTRUCTION_SECONDS.get((workload, label))
     if baseline is not None:
         entry["construction_baseline_seconds"] = baseline
+    if db0.construction_report is not None:
+        # Schema v6: the supervised partitioned build's failure
+        # telemetry (empty lists/zero on clean runs — their presence
+        # marks the build as supervised).
+        entry["construction_retries"] = db0.construction_report.retries
+        entry["construction_degraded_tasks"] = list(
+            db0.construction_report.degraded_tasks
+        )
     overlap = runs["partial/overlap"]
     full = runs.get("partial/full")
     if full is not None:
@@ -540,6 +586,10 @@ def run_suite(
     construction_workers: Optional[int] = None,
     search: str = "serial",
     search_workers: Optional[int] = None,
+    worker_timeout: Optional[float] = None,
+    max_task_retries: int = 2,
+    on_worker_failure: str = "degrade",
+    fault_plan: Optional[Any] = None,
 ) -> Dict[str, Any]:
     """Run the workloads and return the ``BENCH_cspm.json`` document.
 
@@ -556,6 +606,12 @@ def run_suite(
     ``search``/``search_workers`` select the CSPM-Partial execution
     (schema v5): the component-sharded path stitches a bit-exact
     serial-equivalent trace, so the same counter bounds gate it too.
+    The supervised-runtime knobs (schema v6) — ``worker_timeout``,
+    ``max_task_retries``, ``on_worker_failure``, ``fault_plan`` (a
+    :class:`~repro.runtime.faults.FaultPlan` or its mapping/JSON/path
+    spellings) — govern every worker pool the suite spins up; injected
+    failures recover by retry or bit-exact degradation, so the bounds
+    still apply (the CI chaos smoke's gate).
     """
     if only:
         unknown = sorted(set(only) - set(WORKLOAD_NAMES))
@@ -578,6 +634,24 @@ def run_suite(
             f"unknown search {search!r}; available: {list(SEARCHES)}"
         )
 
+    if on_worker_failure not in ON_WORKER_FAILURE:
+        raise ValueError(
+            f"unknown on_worker_failure {on_worker_failure!r}; "
+            f"available: {list(ON_WORKER_FAILURE)}"
+        )
+    # Normalise the plan once (CSPMConfig would coerce anyway; doing it
+    # here surfaces a malformed plan before any measurement runs, and
+    # gives the document a serialisable copy to record).
+    from repro.runtime.faults import FaultPlan
+
+    plan = FaultPlan.coerce(fault_plan)
+    runtime_kwargs: Dict[str, Any] = {
+        "worker_timeout": worker_timeout,
+        "max_task_retries": max_task_retries,
+        "on_worker_failure": on_worker_failure,
+        "fault_plan": plan,
+    }
+
     def wanted(name: str) -> bool:
         return not only or name in only
 
@@ -594,6 +668,7 @@ def run_suite(
             search=search,
             search_workers=search_workers,
             workload=workload,
+            runtime_kwargs=runtime_kwargs,
             **kwargs,
         )
 
@@ -696,6 +771,10 @@ def run_suite(
         "construction_workers": construction_workers,
         "search": search,
         "search_workers": search_workers,
+        "worker_timeout": worker_timeout,
+        "max_task_retries": max_task_retries,
+        "on_worker_failure": on_worker_failure,
+        "fault_plan": plan.to_dict() if plan is not None else None,
         "workloads": workloads,
     }
 
@@ -1016,6 +1095,41 @@ def add_bench_arguments(parser: argparse.ArgumentParser) -> None:
         "(default: one per CPU)",
     )
     parser.add_argument(
+        "--worker-timeout",
+        dest="worker_timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-task timeout for supervised worker pools (default: "
+        "300s); a timed-out task counts as one failed attempt",
+    )
+    parser.add_argument(
+        "--max-task-retries",
+        dest="max_task_retries",
+        type=int,
+        default=2,
+        metavar="N",
+        help="pool re-submissions per task before the failure policy "
+        "applies (default: 2)",
+    )
+    parser.add_argument(
+        "--on-worker-failure",
+        dest="on_worker_failure",
+        choices=ON_WORKER_FAILURE,
+        default="degrade",
+        help="after retries are exhausted: 'degrade' re-runs the task "
+        "in-process (bit-exact vs serial), 'raise' aborts the suite",
+    )
+    parser.add_argument(
+        "--fault-plan",
+        dest="fault_plan",
+        default=None,
+        metavar="JSON|FILE",
+        help="deterministic fault-injection plan (inline JSON or a path "
+        "to a JSON file) applied to every worker pool; counter bounds "
+        "apply unchanged under any plan (the CI chaos smoke's gate)",
+    )
+    parser.add_argument(
         "--list-workloads",
         "--list",
         dest="list_workloads",
@@ -1047,6 +1161,10 @@ def execute(args) -> int:
         construction_workers=args.construction_workers,
         search=args.search,
         search_workers=args.search_workers,
+        worker_timeout=getattr(args, "worker_timeout", None),
+        max_task_retries=getattr(args, "max_task_retries", 2),
+        on_worker_failure=getattr(args, "on_worker_failure", "degrade"),
+        fault_plan=getattr(args, "fault_plan", None),
     )
     document = fresh
     if args.workloads:

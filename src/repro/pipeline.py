@@ -61,6 +61,7 @@ from repro.core.mdl import (
 from repro.core.result import CSPMResult
 from repro.errors import MiningError
 from repro.graphs.attributed_graph import AttributedGraph
+from repro.runtime.supervisor import RuntimePolicy
 
 Value = Hashable
 Vertex = Hashable
@@ -212,8 +213,18 @@ class BuildInvertedDB(PipelineStage):
             mask_backend=backend,
             construction=config.construction,
             construction_workers=config.construction_workers,
+            runtime_policy=(
+                RuntimePolicy.from_config(config)
+                if config.construction == "partitioned"
+                else None
+            ),
         )
         context.extras["construction_seconds"] = time.perf_counter() - start
+        report = context.inverted_db.construction_report
+        if report is not None:
+            context.extras.setdefault("runtime", {})["construction"] = (
+                report.to_dict()
+            )
         context.initial_dl = initial_description_length(
             context.inverted_db, context.standard_table, context.core_table
         )
@@ -288,12 +299,17 @@ class Search(PipelineStage):
                 initial_dl_bits=initial_bits,
                 pair_source=self.pair_source,
                 workers=config.search_workers,
+                policy=RuntimePolicy.from_config(config),
             )
             context.trace = sharded.trace
             context.extras["num_components"] = sharded.num_components
             context.extras["largest_component_frac"] = (
                 sharded.largest_component_frac
             )
+            if sharded.report is not None:
+                context.extras.setdefault("runtime", {})["search"] = (
+                    sharded.report.to_dict()
+                )
         else:
             context.trace = run_partial(
                 context.inverted_db,
@@ -344,6 +360,15 @@ class RankAndFilter(PipelineStage):
         if config.top_k is not None:
             astars = astars[: config.top_k]
         context.astars = astars
+        runtime = context.extras.get("runtime")
+        if runtime is not None and "fault_plan" not in runtime:
+            # Record which injection schedule (if any) the supervised
+            # pools ran under, so a chaos run's telemetry is
+            # self-describing.
+            from repro.runtime.faults import resolve_plan
+
+            plan = resolve_plan(config.fault_plan)
+            runtime["fault_plan"] = plan.to_dict() if plan is not None else None
         context.result = CSPMResult(
             astars=astars,
             trace=context.trace,
@@ -353,6 +378,7 @@ class RankAndFilter(PipelineStage):
             core_table=context.core_table,
             inverted_db=db,
             config=config,
+            runtime=runtime,
         )
 
 

@@ -494,6 +494,121 @@ class TestCFG002:
 
 
 # ----------------------------------------------------------------------
+# RES: resilience (supervised runtime)
+# ----------------------------------------------------------------------
+
+RES001_TP = """
+from concurrent.futures import ProcessPoolExecutor
+
+def harvest(futures):
+    return [future.result() for future in futures]
+"""
+
+RES001_TN = """
+from concurrent.futures import ProcessPoolExecutor
+
+def harvest(futures, deadline):
+    return [future.result(timeout=deadline) for future in futures]
+"""
+
+RES001_DICT_GET = """
+from concurrent.futures import ProcessPoolExecutor
+
+def lookup(table, key):
+    return table.get(key)
+"""
+
+RES002_BARE_TP = """
+def swallow(job):
+    try:
+        job()
+    except:
+        pass
+"""
+
+RES002_BASE_TP = """
+def swallow(job):
+    try:
+        job()
+    except BaseException:
+        return None
+"""
+
+RES002_RERAISE_TN = """
+def cleanup_then_reraise(job, pool):
+    try:
+        job()
+    except BaseException:
+        pool.terminate()
+        raise
+"""
+
+RES002_EXCEPTION_TN = """
+def tolerate(job):
+    try:
+        job()
+    except Exception:
+        return None
+"""
+
+
+class TestRES001:
+    def test_argless_result_flagged_in_pool_modules(self):
+        report = lint_one("runtime/supervisor.py", RES001_TP, ["RES001"])
+        assert rules_of(report) == ["RES001"]
+        assert "timeout" in report.findings[0].message
+
+    def test_timeout_keyword_is_clean(self):
+        assert lint_one("runtime/supervisor.py", RES001_TN, ["RES001"]).clean
+
+    def test_argless_get_flagged(self):
+        source = RES001_TP.replace(".result()", ".get()")
+        report = lint_one("core/construction.py", source, ["RES001"])
+        assert rules_of(report) == ["RES001"]
+
+    def test_dict_get_with_key_is_clean(self):
+        assert lint_one(
+            "runtime/supervisor.py", RES001_DICT_GET, ["RES001"]
+        ).clean
+
+    def test_scope_is_path_and_import_gated(self):
+        # Outside the worker-pool modules the same call is fine, and a
+        # pool-module file that never imports a pool API is too.
+        assert lint_one("perf/suite.py", RES001_TP, ["RES001"]).clean
+        no_import = RES001_TP.replace(
+            "from concurrent.futures import ProcessPoolExecutor", ""
+        )
+        assert lint_one(
+            "runtime/supervisor.py", no_import, ["RES001"]
+        ).clean
+
+
+class TestRES002:
+    def test_bare_except_flagged(self):
+        report = lint_one("batch.py", RES002_BARE_TP, ["RES002"])
+        assert rules_of(report) == ["RES002"]
+        assert "bare except:" in report.findings[0].message
+
+    def test_base_exception_flagged_anywhere(self):
+        report = lint_one("perf/suite.py", RES002_BASE_TP, ["RES002"])
+        assert rules_of(report) == ["RES002"]
+        assert "except BaseException" in report.findings[0].message
+
+    def test_cleanup_then_reraise_is_clean(self):
+        assert lint_one("batch.py", RES002_RERAISE_TN, ["RES002"]).clean
+
+    def test_catching_exception_is_clean(self):
+        assert lint_one("batch.py", RES002_EXCEPTION_TN, ["RES002"]).clean
+
+    def test_noqa_suppresses_the_supervisor_boundary(self):
+        suppressed = RES002_BASE_TP.replace(
+            "except BaseException:",
+            "except BaseException:  # repro: noqa[RES002]",
+        )
+        assert lint_one("batch.py", suppressed, ["RES002"]).clean
+
+
+# ----------------------------------------------------------------------
 # Baseline round-trip
 # ----------------------------------------------------------------------
 
@@ -570,6 +685,8 @@ class TestShippedTree:
             "FRK002",
             "CFG001",
             "CFG002",
+            "RES001",
+            "RES002",
         }
         for rule in RULE_REGISTRY.values():
             assert rule.title

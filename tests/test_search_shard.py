@@ -246,9 +246,15 @@ class TestPipelineAndConfig:
         assert sharded.trace.to_dict() == serial.trace.to_dict()
         left = json.loads(serial.to_json())
         right = json.loads(sharded.to_json())
-        # Everything but the recorded search knobs is identical.
+        # Everything but the recorded search knobs and the supervised-
+        # runtime telemetry (absent on serial runs) is identical.
         assert right["config"].pop("search") == "sharded"
         assert right["config"].pop("search_workers") == 2
+        runtime = right.pop("runtime")
+        assert "runtime" not in left
+        assert runtime["search"]["retries"] == 0
+        assert runtime["search"]["degraded_tasks"] == []
+        assert runtime["fault_plan"] is None
         assert left == right
 
     def test_max_iterations_falls_back_to_serial(self):
