@@ -29,6 +29,14 @@ The package is organised around the paper's pipeline:
     bounded deterministic retries, bit-exact degrade-to-serial, and
     reproducible fault injection (:class:`FaultPlan`) — see
     ``docs/RESILIENCE.md``.
+``repro.obs``
+    The observability layer: nestable spans on an injected clock with
+    a merged cross-process timeline (Chrome trace / NDJSON export), a
+    metrics registry unifying the run counters and supervisor
+    telemetry, and throttled progress heartbeats — all behind
+    zero-cost no-op defaults, enabled via
+    ``CSPMConfig(trace=..., metrics=..., progress=...)`` or the
+    matching ``mine``/``bench`` flags — see ``docs/OBSERVABILITY.md``.
 ``repro.itemsets``
     Krimp and SLIM, the MDL itemset miners used both as the multi-value
     coreset encoder (Section IV-F) and as the runtime baseline of
@@ -88,7 +96,7 @@ from repro.graphs.attributed_graph import AttributedGraph
 from repro.pipeline import MiningPipeline, PipelineContext, PipelineStage
 from repro.runtime import FaultEvent, FaultPlan
 
-__version__ = "1.8.0"
+__version__ = "1.9.0"
 
 __all__ = [
     "AStar",

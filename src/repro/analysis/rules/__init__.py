@@ -16,6 +16,8 @@ CFG       config drift: CFG001 field/flag wiring, CFG002 to_dict
           omission defaults
 RES       resilience: RES001 pool harvests without a timeout, RES002
           bare/BaseException handlers outside the supervisor
+OBS       observability: OBS001 non-literal span/metric names, OBS002
+          import time outside the repro.obs clock seam
 ========  ===========================================================
 
 The contracts behind the families are written up in
@@ -27,5 +29,6 @@ from repro.analysis.rules import (  # noqa: F401  (imported for registration)
     determinism,
     fork_safety,
     mask_purity,
+    observability,
     resilience,
 )

@@ -21,7 +21,7 @@ Example::
 
 from __future__ import annotations
 
-import time
+import os
 import traceback as traceback_module
 from dataclasses import dataclass
 from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
@@ -30,6 +30,7 @@ from repro.config import CSPMConfig
 from repro.core.result import CSPMResult
 from repro.errors import MiningError
 from repro.graphs.attributed_graph import AttributedGraph
+from repro.obs import Observation, activate, clock, current
 from repro.runtime.supervisor import RuntimePolicy, SiteReport, run_supervised
 
 EXECUTORS = ("serial", "process")
@@ -43,7 +44,12 @@ class BatchRun:
     its position in the batch and carries the exception spelled as
     ``"ExceptionType: message"`` plus the formatted traceback text
     (a string, because the original traceback object cannot cross a
-    process boundary).
+    process boundary).  ``seconds`` is the run's wall-clock either way
+    — failed runs are timed too, so batch dashboards never undercount.
+
+    Under ``config.trace=True`` the run's closed span buffer and the
+    executing pid ride along (plain tuples, FRK002-shaped) so
+    :func:`fit_many` can fold every run into one parent timeline.
     """
 
     index: int
@@ -51,6 +57,8 @@ class BatchRun:
     seconds: float
     error: Optional[str] = None
     traceback: Optional[str] = None
+    spans: Optional[List[Tuple[str, float, float, int, str]]] = None
+    pid: Optional[int] = None
 
     @property
     def ok(self) -> bool:
@@ -75,12 +83,16 @@ class BatchResult:
 
     ``report`` is the supervisor's failure telemetry for the
     ``"batch"`` site — ``None`` for serial (or single-graph)
-    execution, where no pool exists to supervise.
+    execution, where no pool exists to supervise.  ``obs`` is the
+    batch-level observation session (spans from every run adopted
+    into one timeline, per-run duration metrics) when the config's
+    observability knobs — or an already-active session — enabled one.
     """
 
     runs: List[BatchRun]
     config: CSPMConfig
     report: Optional[SiteReport] = None
+    obs: Optional[Observation] = None
 
     def __len__(self) -> int:
         return len(self.runs)
@@ -147,19 +159,39 @@ def _fit_one(payload: Tuple[int, AttributedGraph, CSPMConfig]) -> BatchRun:
     from repro.pipeline import MiningPipeline
 
     index, graph, config = payload
-    start = time.perf_counter()
+    start = clock.perf_counter()
     try:
-        result = MiningPipeline.default(config).run(graph)
+        context = MiningPipeline.default(config).run_context(graph)
+        result = context.result
+        if result is None:
+            raise MiningError(
+                "pipeline finished without producing a result"
+            )
     except Exception as exc:
         return BatchRun(
             index=index,
             result=None,
-            seconds=time.perf_counter() - start,
+            seconds=clock.perf_counter() - start,
             error=f"{type(exc).__name__}: {exc}",
             traceback=traceback_module.format_exc(),
         )
+    # Ship spans only when the *config* turned tracing on: then
+    # ``run_context`` recorded into a run-private session whose buffer
+    # must travel home.  Tracing inherited from an already-active
+    # parent session recorded straight into the parent's buffer — in
+    # that case shipping would duplicate every span.
+    obs = context.obs
+    spans = (
+        obs.tracer.export_spans()
+        if config.trace and obs is not None and obs.tracer.enabled
+        else None
+    )
     return BatchRun(
-        index=index, result=result, seconds=time.perf_counter() - start
+        index=index,
+        result=result,
+        seconds=clock.perf_counter() - start,
+        spans=spans,
+        pid=os.getpid(),
     )
 
 
@@ -207,21 +239,71 @@ def fit_many(
     graphs = list(graphs)
     payloads = [(index, graph, config) for index, graph in enumerate(graphs)]
 
-    if executor == "serial" or len(payloads) <= 1:
-        runs = [_fit_one(payload) for payload in payloads]
-        return BatchResult(runs=runs, config=config)
-    # The pool is supervised (site "batch", task index = run index):
-    # a crashed or hung worker is retried on a fresh pool and, past
-    # the retry budget, the run is mined in-process — per-run
-    # *exceptions* never get that far, ``_fit_one`` already converts
-    # them to error records inside the worker.
-    workers = min(n_jobs, len(payloads))
-    runs, report = run_supervised(
-        "batch",
-        payloads,
-        _fit_one,
-        RuntimePolicy.from_config(config),
-        max_workers=workers,
-        expect_type=BatchRun,
+    # Batch-level observation: inherit the caller's active session, or
+    # build one from the config knobs.  Each run records its own spans
+    # (in-process or in a worker) and ships them back on the BatchRun;
+    # they are adopted into this session's timeline below.
+    obs = current()
+    if not obs.enabled:
+        obs = Observation.from_config(config)
+    report: Optional[SiteReport] = None
+    with activate(obs):
+        if executor == "serial" or len(payloads) <= 1:
+            runs = [_fit_one(payload) for payload in payloads]
+        else:
+            # The pool is supervised (site "batch", task index = run
+            # index): a crashed or hung worker is retried on a fresh
+            # pool and, past the retry budget, the run is mined
+            # in-process — per-run *exceptions* never get that far,
+            # ``_fit_one`` already converts them to error records
+            # inside the worker.
+            workers = min(n_jobs, len(payloads))
+            runs, report = run_supervised(
+                "batch",
+                payloads,
+                _fit_one,
+                RuntimePolicy.from_config(config),
+                max_workers=workers,
+                expect_type=BatchRun,
+            )
+        _emit_batch_observations(obs, runs)
+    return BatchResult(
+        runs=runs,
+        config=config,
+        report=report,
+        obs=obs if obs.enabled else None,
     )
-    return BatchResult(runs=runs, config=config, report=report)
+
+
+def _emit_batch_observations(obs: Observation, runs: List[BatchRun]) -> None:
+    """Fold per-run spans and durations into the batch session.
+
+    Runs that executed in this very process share the parent clock, so
+    their spans adopt without an offset; worker-process spans are
+    end-aligned to the harvest instant.  Durations are emitted for
+    *every* run — failed runs included — so the histogram matches what
+    ``BatchResult.total_seconds`` sums.
+    """
+    if obs.tracer.enabled:
+        harvest = obs.tracer.now()
+        for run in runs:
+            if not run.spans:
+                continue
+            align = None if run.pid == obs.tracer.pid else harvest
+            obs.tracer.adopt(
+                run.spans,
+                run.pid or 0,
+                f"batch[{run.index}]",
+                align_end=align,
+            )
+    if obs.metrics.enabled:
+        for run in runs:
+            obs.metrics.histogram("batch.run_seconds").observe(run.seconds)
+            obs.metrics.counter("batch.runs").inc(1)
+            if not run.ok:
+                obs.metrics.counter("batch.run_failures").inc(1)
+    obs.progress.note(
+        "batch",
+        runs=len(runs),
+        failures=sum(1 for run in runs if not run.ok),
+    )

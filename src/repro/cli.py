@@ -10,20 +10,25 @@ Subcommands::
     python -m repro.cli alarms                   # Fig. 8 style comparison
     python -m repro.cli bench --quick            # perf suite -> BENCH_cspm.json
     python -m repro.cli lint                     # invariant linter (repro.analysis)
+    python -m repro.cli version                  # print the package version
 
 Every subcommand goes through the typed public API: mining options are
-collected into a :class:`repro.config.CSPMConfig` and handed to the
-default :class:`repro.pipeline.MiningPipeline` via the ``CSPM`` facade,
-so the CLI exercises exactly the code path library consumers use.
+collected into a :class:`repro.config.CSPMConfig` and run through the
+default :class:`repro.pipeline.MiningPipeline` — the identical code
+path the ``CSPM`` facade drives for library consumers — with the
+observability session (``--trace``/``--metrics``/``--progress``,
+:mod:`repro.obs`) exported after the run.
 Graphs are exchanged in the JSON format of :mod:`repro.graphs.io`.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
+from repro import __version__
 from repro.config import (
     CONSTRUCTIONS,
     ENCODERS,
@@ -34,7 +39,6 @@ from repro.config import (
     UPDATE_SCOPES,
     CSPMConfig,
 )
-from repro.core.miner import CSPM
 from repro.datasets import available_datasets, load_dataset
 from repro.errors import ReproError
 from repro.graphs.io import load_json, save_json
@@ -149,10 +153,39 @@ def _add_mine(subparsers) -> None:
         "flag-less spelling)",
     )
     parser.add_argument(
+        "--trace",
+        default=None,
+        metavar="FILE",
+        help="record nested observability spans for every pipeline "
+        "stage and worker pool (repro.obs) and write them to FILE as "
+        "Chrome trace-event JSON — NDJSON when FILE ends with "
+        "'.ndjson' — loadable in Perfetto or chrome://tracing; "
+        "recording never changes the mined result",
+    )
+    parser.add_argument(
+        "--metrics",
+        default=None,
+        metavar="FILE",
+        help="write the run's metric snapshot (named counters, gauges "
+        "and histograms, repro.obs) to FILE as JSON",
+    )
+    parser.add_argument(
+        "--progress",
+        action="store_true",
+        help="print throttled progress heartbeats for long phases to "
+        "stderr",
+    )
+    parser.add_argument(
         "--json",
         action="store_true",
         help="emit the full serialised result (config, a-stars, trace, "
         "DL accounting) as JSON instead of text",
+    )
+
+
+def _add_version(subparsers) -> None:
+    subparsers.add_parser(
+        "version", help="print the package version and exit"
     )
 
 
@@ -260,8 +293,14 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="CSPM: representative attribute-stars via MDL (ICDE 2022)",
     )
+    parser.add_argument(
+        "--version",
+        action="version",
+        version=f"%(prog)s {__version__}",
+    )
     subparsers = parser.add_subparsers(dest="command", required=True)
     _add_mine(subparsers)
+    _add_version(subparsers)
     _add_stats(subparsers)
     _add_datasets(subparsers)
     _add_generate(subparsers)
@@ -298,14 +337,43 @@ def _mine_config(args) -> CSPMConfig:
         max_task_retries=args.max_task_retries,
         on_worker_failure=args.on_worker_failure,
         fault_plan=args.fault_plan,
+        trace=args.trace is not None,
+        metrics=args.metrics is not None,
+        progress=args.progress,
         **post_filters,
     )
 
 
+def _export_observability(args, obs) -> None:
+    """Write the run's trace/metrics files, confirming on stderr.
+
+    stdout stays reserved for the mined result (``--json`` pipelines
+    depend on it), so the file confirmations go to stderr like the
+    progress heartbeats.
+    """
+    if obs is None:
+        return
+    if args.trace:
+        obs.tracer.write(args.trace)
+        print(f"wrote trace to {args.trace}", file=sys.stderr)
+    if args.metrics:
+        with open(args.metrics, "w", encoding="utf-8") as handle:
+            json.dump(obs.metrics.snapshot(), handle, indent=2)
+            handle.write("\n")
+        print(f"wrote metrics to {args.metrics}", file=sys.stderr)
+
+
 def _command_mine(args) -> int:
+    from repro.pipeline import MiningPipeline
+
     graph = load_json(args.graph)
     config = _mine_config(args)
-    result = CSPM(config=config).fit(graph)
+    # Run through the pipeline context (not the CSPM facade) so the
+    # observation session — spans, metrics, progress — stays reachable
+    # after the run; the mined result is identical either way.
+    context = MiningPipeline.default(config).run_context(graph)
+    result = context.result
+    _export_observability(args, context.obs)
     if args.json:
         print(result.to_json(indent=2))
         return 0
@@ -316,6 +384,11 @@ def _command_mine(args) -> int:
         stars = stars[:top]
     for star in stars:
         print(f"  {star}")
+    return 0
+
+
+def _command_version(_args) -> int:
+    print(__version__)
     return 0
 
 
@@ -404,6 +477,7 @@ def _command_bench(args) -> int:
 
 _COMMANDS = {
     "mine": _command_mine,
+    "version": _command_version,
     "stats": _command_stats,
     "datasets": _command_datasets,
     "generate": _command_generate,

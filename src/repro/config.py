@@ -134,6 +134,22 @@ class CSPMConfig:
         Injected failures only ever occur inside worker processes, so
         the mined output is still bit-exact.  Serialised only when
         set.
+    trace:
+        Record nestable spans for every pipeline stage, construction
+        phase, worker task and supervisor event (:mod:`repro.obs`),
+        mergeable into one Chrome-trace timeline (``mine --trace``).
+        Recording never perturbs the mined output — merge sequences
+        and DL floats are ``==`` an untraced run.  Serialised only
+        when enabled.
+    metrics:
+        Record named counters/gauges/histograms (the ``RunTrace``
+        perf counters, mask memory, supervisor retry/degrade/timeout
+        telemetry, per-run batch durations) into a
+        :class:`repro.obs.MetricsRegistry` (``mine --metrics``).
+        Serialised only when enabled.
+    progress:
+        Emit throttled heartbeat lines for long phases on stderr
+        (``mine --progress``).  Serialised only when enabled.
     """
 
     method: str = "partial"
@@ -152,6 +168,9 @@ class CSPMConfig:
     max_task_retries: int = 2
     on_worker_failure: str = "degrade"
     fault_plan: Optional[FaultPlan] = None
+    trace: bool = False
+    metrics: bool = False
+    progress: bool = False
 
     def __post_init__(self) -> None:
         if self.method not in METHODS:
@@ -253,6 +272,14 @@ class CSPMConfig:
                 f"on_worker_failure must be one of {ON_WORKER_FAILURE}, "
                 f"got {self.on_worker_failure!r}"
             )
+        if not isinstance(self.trace, bool):
+            raise ConfigError(f"trace must be a bool, got {self.trace!r}")
+        if not isinstance(self.metrics, bool):
+            raise ConfigError(f"metrics must be a bool, got {self.metrics!r}")
+        if not isinstance(self.progress, bool):
+            raise ConfigError(
+                f"progress must be a bool, got {self.progress!r}"
+            )
         if self.fault_plan is not None and not isinstance(
             self.fault_plan, FaultPlan
         ):
@@ -280,7 +307,9 @@ class CSPMConfig:
         ``construction``/``construction_workers``,
         ``search``/``search_workers`` and the supervised-runtime knobs
         ``worker_timeout``/``max_task_retries``/``on_worker_failure``/
-        ``fault_plan``) are included only when non-default: they never
+        ``fault_plan``, and the observability knobs
+        ``trace``/``metrics``/``progress``) are included only when
+        non-default: they never
         change the mined output, and omitting the defaults keeps
         existing schema-v1 result documents (including the CLI golden
         file) byte-identical.  :meth:`from_dict` round-trips either
@@ -304,6 +333,12 @@ class CSPMConfig:
             del document["max_task_retries"]
         if document["on_worker_failure"] == "degrade":
             del document["on_worker_failure"]
+        if document["trace"] is False:
+            del document["trace"]
+        if document["metrics"] is False:
+            del document["metrics"]
+        if document["progress"] is False:
+            del document["progress"]
         if document["fault_plan"] is None:
             del document["fault_plan"]
         else:

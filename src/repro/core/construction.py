@@ -51,6 +51,7 @@ from dataclasses import dataclass
 from typing import Dict, FrozenSet, Hashable, List, Mapping, Optional, Tuple
 
 from repro.errors import MiningError
+from repro.obs import Observation, activate, current
 from repro.runtime.supervisor import RuntimePolicy, SiteReport, run_supervised
 
 Value = Hashable
@@ -64,8 +65,8 @@ PlanItem = Tuple[CoreKey, List[Vertex]]
 
 #: Shared construction state in a worker process: ``(mask backend,
 #: planned (coreset, members) items, vertex -> neighbour values,
-#: vertex -> bit, leaf-value universe)``.  Set by fork inheritance or
-#: the pool initializer.
+#: vertex -> bit, leaf-value universe, trace enabled)``.  Set by fork
+#: inheritance or the pool initializer.
 _WORKER_STATE: Optional[Tuple] = None
 
 
@@ -91,6 +92,11 @@ class PartitionResult:
     row_order: List[Tuple[int, Value]]
     core_freq: List[Tuple[int, int]]
     leaf_unions: List[Tuple[Value, Mask]]
+    #: Closed observability spans recorded in the worker (plain str/
+    #: float/int tuples) plus the recording pid, shipped home through
+    #: the ordinary result path when tracing is on.
+    spans: Optional[List[Tuple[str, float, float, int, str]]] = None
+    pid: int = 0
 
 
 def partition_plan(
@@ -140,15 +146,22 @@ def _build_slice(bounds: Tuple[int, int]) -> PartitionResult:
     Top-level for pickling; reads the shared state installed by
     :func:`_set_worker_state`.
     """
+    import os
+
     from repro.core.inverted_db import InvertedDatabase
 
-    backend, items, neighbor_values, vertex_bit, universe = _WORKER_STATE
-    start, end = bounds
-    db = InvertedDatabase(mask_backend=backend)
-    db._vertex_bit = vertex_bit  # prefilled, read-only during _build_rows
-    db._build_rows(
-        dict(items[start:end]), neighbor_values.__getitem__, universe
+    backend, items, neighbor_values, vertex_bit, universe, traced = (
+        _WORKER_STATE
     )
+    start, end = bounds
+    obs = Observation.for_worker(trace=traced)
+    with activate(obs):
+        with obs.span("build.partition", coresets=end - start):
+            db = InvertedDatabase(mask_backend=backend)
+            db._vertex_bit = vertex_bit  # prefilled, read-only during _build_rows
+            db._build_rows(
+                dict(items[start:end]), neighbor_values.__getitem__, universe
+            )
     core_index = {core: index for index, (core, _members) in enumerate(items)}
     row_freq = db._row_freq
     return PartitionResult(
@@ -167,6 +180,8 @@ def _build_slice(bounds: Tuple[int, int]) -> PartitionResult:
             (_single_value(leaf), mask)
             for leaf, mask in db._leaf_union.items()
         ],
+        spans=obs.tracer.export_spans() if traced else None,
+        pid=os.getpid(),
     )
 
 
@@ -262,7 +277,15 @@ def build_partitioned(
     for part in partitions:
         bounds.append((cursor, cursor + len(part)))
         cursor += len(part)
-    state = (db._masks, items, neighbor_values, db._vertex_bit, universe)
+    obs = current()
+    state = (
+        db._masks,
+        items,
+        neighbor_values,
+        db._vertex_bit,
+        universe,
+        obs.tracer.enabled,
+    )
     # The parent installs the worker state unconditionally: fork
     # children inherit it (the plan, the neighbour-value table and the
     # vertex->bit table reach the workers without a single pickle
@@ -293,5 +316,16 @@ def build_partitioned(
             )
     finally:
         _set_worker_state(None)
+    if obs.tracer.enabled:
+        harvest = obs.tracer.now()
+        for index, part in enumerate(results):
+            align = None if part.pid == obs.tracer.pid else harvest
+            obs.tracer.adopt(
+                part.spans,
+                part.pid,
+                f"construction[{index}]",
+                align_end=align,
+            )
     _merge_partitions(db, items, results)
+    obs.progress.note("build", partitions=len(results))
     return report

@@ -76,6 +76,7 @@ from repro.core.inverted_db import InvertedDatabase, MergeOutcome
 from repro.core.mdl import description_length
 from repro.core.pairgen import generate_pairs
 from repro.errors import MiningError
+from repro.obs import current
 
 LeafKey = FrozenSet[Hashable]
 GAIN_EPS = 1e-9
@@ -186,6 +187,7 @@ def run_partial(
                 payload=(breakdown, seed_epoch) if lazy else None,
             )
     trace.initial_candidate_gains = initial_gains
+    obs = current()
 
     iteration = 0
     pending_gains = 0
@@ -283,8 +285,14 @@ def run_partial(
                 total_dl_bits=dl,
             )
         )
+        obs.progress.heartbeat(
+            "search", merges=iteration, queue=len(state.queue)
+        )
     trace.final_dl_bits = dl
     trace.peak_queue_size = state.queue.peak_size
+    if obs.metrics.enabled:
+        for stat, size in engine.cache_stats().items():
+            obs.metrics.gauge("gain.cache_size").set_max(size, cache=stat)
     return trace
 
 

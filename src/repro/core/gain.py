@@ -27,7 +27,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from math import log2
-from typing import FrozenSet, Hashable, List, Optional, Sequence
+from typing import Dict, FrozenSet, Hashable, List, Optional, Sequence
 
 from repro.core.code_table import CoreCodeTable, StandardCodeTable
 from repro.core.inverted_db import InvertedDatabase
@@ -127,6 +127,20 @@ class GainEngine:
         # count and the disjoint-union prefilter (repro.core.masks).
         self._and_count = db.mask_backend.and_count
         self._overlaps = db.mask_backend.union_overlaps
+
+    def cache_stats(self) -> Dict[str, int]:
+        """Current sizes of the engine's memo structures.
+
+        Observability-only (``gain.cache_size`` gauges at the end of a
+        search); reads nothing but ``len``, so calling it can never
+        perturb gains.
+        """
+        return {
+            "xlogx_table": len(self._xlogx),
+            "pair_cores": len(self._pair_cores),
+            "leaf_cost": len(self._leaf_cost),
+            "pointer": len(self._pointer),
+        }
 
     def _xl(self, x: int) -> float:
         table = self._xlogx

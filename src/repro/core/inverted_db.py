@@ -64,6 +64,7 @@ from repro.core.candidates import LeafsetInterner, leafset_sort_key
 from repro.core.masks import MaskBackend, BigintMaskBackend, bigint_mask_bytes
 from repro.errors import MiningError
 from repro.graphs.attributed_graph import AttributedGraph
+from repro.obs import current
 
 try:  # Vectorised construction grouping; the pure path covers absence.
     import numpy as _np
@@ -277,22 +278,29 @@ class InvertedDatabase:
                 frozenset([value]): vertices
                 for value, vertices in graph.value_positions().items()
             }
+        obs = current()
         if construction == "partitioned":
             # Workers need the whole phase-1 product up front: the
             # frozen vertex->bit table and the neighbour-value map are
             # shared state every partition builds against.
-            plan, neighbor_values = db._plan_construction(
-                graph, coreset_positions
-            )
+            with obs.span("build.plan", construction=construction):
+                plan, neighbor_values = db._plan_construction(
+                    graph, coreset_positions
+                )
             from repro.core.construction import build_partitioned
 
-            db.construction_report = build_partitioned(
-                db,
-                plan,
-                neighbor_values,
-                workers=construction_workers,
-                policy=runtime_policy,
-            )
+            with obs.span(
+                "build.rows",
+                construction=construction,
+                coresets=len(plan),
+            ):
+                db.construction_report = build_partitioned(
+                    db,
+                    plan,
+                    neighbor_values,
+                    workers=construction_workers,
+                    policy=runtime_policy,
+                )
         else:
             # Serial construction fuses phase 1's per-vertex work into
             # the row loop: neighbour values are computed and the bit
@@ -300,10 +308,16 @@ class InvertedDatabase:
             # in exactly the order the separate planning pass would
             # have used (plan order, members in order, values-carrying
             # vertices only).
-            plan = db._plan_coresets(coreset_positions)
-            db._build_rows(
-                plan, graph.neighbor_values, graph.attribute_values()
-            )
+            with obs.span("build.plan", construction=construction):
+                plan = db._plan_coresets(coreset_positions)
+            with obs.span(
+                "build.rows",
+                construction=construction,
+                coresets=len(plan),
+            ):
+                db._build_rows(
+                    plan, graph.neighbor_values, graph.attribute_values()
+                )
         db._finalise_construction()
         return db
 

@@ -50,7 +50,8 @@ class CSPM:
     method, coreset_encoder, include_model_cost, max_iterations, \
     partial_update_scope, top_k, min_leafset, mask_backend, \
     construction, construction_workers, search, search_workers, \
-    worker_timeout, max_task_retries, on_worker_failure, fault_plan:
+    worker_timeout, max_task_retries, on_worker_failure, fault_plan, \
+    trace, metrics, progress:
         Legacy/convenience knobs; see :class:`~repro.config.CSPMConfig`
         for their meaning.
     """
@@ -73,6 +74,9 @@ class CSPM:
         max_task_retries: int = _UNSET,
         on_worker_failure: str = _UNSET,
         fault_plan=_UNSET,
+        trace: bool = _UNSET,
+        metrics: bool = _UNSET,
+        progress: bool = _UNSET,
         config: Optional[CSPMConfig] = None,
     ) -> None:
         overrides = {
@@ -94,6 +98,9 @@ class CSPM:
                 ("max_task_retries", max_task_retries),
                 ("on_worker_failure", on_worker_failure),
                 ("fault_plan", fault_plan),
+                ("trace", trace),
+                ("metrics", metrics),
+                ("progress", progress),
             )
             if value is not _UNSET
         }
@@ -166,6 +173,18 @@ class CSPM:
     @property
     def fault_plan(self):
         return self.config.fault_plan
+
+    @property
+    def trace(self) -> bool:
+        return self.config.trace
+
+    @property
+    def metrics(self) -> bool:
+        return self.config.metrics
+
+    @property
+    def progress(self) -> bool:
+        return self.config.progress
 
     def __repr__(self) -> str:
         return f"CSPM({self.config.describe()})"

@@ -75,6 +75,7 @@ from repro.core.inverted_db import InvertedDatabase
 from repro.core.mdl import description_length
 from repro.core.pairgen import PAIR_SOURCES, overlap_pairs
 from repro.errors import MiningError
+from repro.obs import Observation, activate, current
 from repro.runtime.supervisor import RuntimePolicy, SiteReport, run_supervised
 
 #: Queue-operation kinds in a :class:`ComponentRun` op log.
@@ -88,8 +89,8 @@ EV_PUSH = 2
 EV_DROP = 3
 
 #: Shared search state in a worker process: ``(database, standard
-#: table, core table, include_model_cost, update_scope, pair_source)``.
-#: Set by fork inheritance or the pool initializer.
+#: table, core table, include_model_cost, update_scope, pair_source,
+#: trace enabled)``.  Set by fork inheritance or the pool initializer.
 _WORKER_STATE: Optional[Tuple] = None
 
 
@@ -120,6 +121,11 @@ class ComponentRun:
     events: List[Tuple[int, int, int, float, float, float, float, int, int]]
     refreshes_skipped: int
     dirty_revalidations: int
+    #: Closed observability spans recorded in the worker (plain str/
+    #: float/int tuples) plus the recording pid, shipped home through
+    #: the ordinary result path when tracing is on.
+    spans: Optional[List[Tuple[str, float, float, int, str]]] = None
+    pid: int = 0
 
 
 class ShardedSearch(NamedTuple):
@@ -267,25 +273,31 @@ def connected_components(db: InvertedDatabase) -> List[List[int]]:
 
 def _mine_component(leaf_ids: List[int]) -> ComponentRun:
     """Worker entrypoint: mine one component on a restricted copy."""
-    db, standard_table, core_table, include_model_cost, scope, source = (
+    import os
+
+    db, standard_table, core_table, include_model_cost, scope, source, traced = (
         _WORKER_STATE
     )
-    leafset_of = db.interner.leafset_of
-    local = db.restricted_copy(leafset_of(i) for i in leaf_ids)
-    recorder = ComponentRecorder()
-    # ``initial_dl_bits=0.0`` skips the from-scratch DL pass: replay
-    # reconstructs the global DL from the recorded breakdowns, so the
-    # worker's local DL floats are never read.
-    trace = run_partial(
-        local,
-        standard_table,
-        core_table,
-        include_model_cost=include_model_cost,
-        update_scope=scope,
-        initial_dl_bits=0.0,
-        pair_source=source,
-        recorder=recorder,
-    )
+    obs = Observation.for_worker(trace=traced)
+    with activate(obs):
+        with obs.span("search.component", leafsets=len(leaf_ids)):
+            leafset_of = db.interner.leafset_of
+            local = db.restricted_copy(leafset_of(i) for i in leaf_ids)
+            recorder = ComponentRecorder()
+            # ``initial_dl_bits=0.0`` skips the from-scratch DL pass:
+            # replay reconstructs the global DL from the recorded
+            # breakdowns, so the worker's local DL floats are never
+            # read.
+            trace = run_partial(
+                local,
+                standard_table,
+                core_table,
+                include_model_cost=include_model_cost,
+                update_scope=scope,
+                initial_dl_bits=0.0,
+                pair_source=source,
+                recorder=recorder,
+            )
     local_interner = local.interner
     return ComponentRun(
         leafsets=[local_interner.leafset_of(i) for i in range(len(local_interner))],
@@ -293,6 +305,8 @@ def _mine_component(leaf_ids: List[int]) -> ComponentRun:
         events=[tuple(event) for event in recorder.events],
         refreshes_skipped=trace.refreshes_skipped,
         dirty_revalidations=trace.dirty_revalidations,
+        spans=obs.tracer.export_spans() if traced else None,
+        pid=os.getpid(),
     )
 
 
@@ -326,6 +340,7 @@ def _mine_components(
         range(len(components)), key=lambda i: (-len(components[i]), i)
     )
     jobs = [components[i] for i in order]
+    obs = current()
     state = (
         db,
         standard_table,
@@ -333,6 +348,7 @@ def _mine_components(
         include_model_cost,
         update_scope,
         pair_source,
+        obs.tracer.enabled,
     )
     report: Optional[SiteReport] = None
     if requested <= 1 or len(jobs) <= 1:
@@ -374,6 +390,15 @@ def _mine_components(
     runs: List[Optional[ComponentRun]] = [None] * len(components)
     for slot, result in zip(order, results):
         runs[slot] = result
+    if obs.tracer.enabled:
+        harvest = obs.tracer.now()
+        for slot, run in enumerate(runs):
+            if run is None or not run.spans:
+                continue
+            align = None if run.pid == obs.tracer.pid else harvest
+            obs.tracer.adopt(
+                run.spans, run.pid, f"search[{slot}]", align_end=align
+            )
     return runs, report
 
 
@@ -431,6 +456,27 @@ def _stitch(
     and the recorded decision stream raises a ``MiningError`` rather
     than silently diverging from the serial search.
     """
+    obs = current()
+    with obs.span("search.stitch", components=len(runs)):
+        return _replay(
+            db,
+            update_scope,
+            initial_dl_bits,
+            initial_candidate_gains,
+            runs,
+            obs,
+        )
+
+
+def _replay(
+    db: InvertedDatabase,
+    update_scope: str,
+    initial_dl_bits: float,
+    initial_candidate_gains: int,
+    runs: List[ComponentRun],
+    obs,
+) -> RunTrace:
+    """The :func:`_stitch` body, under the stitch span."""
     lazy = update_scope == "lazy"
     trace = RunTrace(algorithm=f"cspm-partial/{update_scope}")
     trace.initial_dl_bits = initial_dl_bits
@@ -571,6 +617,9 @@ def _stitch(
                 total_dl_bits=dl,
             )
         )
+        obs.progress.heartbeat(
+            "search.stitch", merges=iteration, queue=len(queue)
+        )
     for index, run in enumerate(runs):
         if cursors[index] != len(run.events) or pushed[index] is not None:
             raise _desync(
@@ -651,6 +700,11 @@ def run_sharded(
     else:
         initial_gains = len(overlap_pairs(db))
     components = connected_components(db)
+    current().progress.note(
+        "search",
+        components=len(components),
+        largest=max((len(c) for c in components), default=0),
+    )
     runs, report = _mine_components(
         db,
         standard_table,

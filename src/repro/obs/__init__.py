@@ -1,0 +1,59 @@
+"""``repro.obs`` — spans, metrics and progress for every stage and pool.
+
+The observability layer has four small parts:
+
+:mod:`repro.obs.clock`
+    The injected-clock seam — the only module in ``repro`` allowed to
+    import ``time`` (lint rule OBS002).
+:mod:`repro.obs.trace`
+    Nestable spans on the injected clock, per-process buffers, worker
+    buffers shipped through the supervisor result path and merged into
+    one parent timeline; exports Chrome trace-event JSON and NDJSON.
+:mod:`repro.obs.metrics`
+    Named counters/gauges/histograms behind a zero-cost no-op default;
+    the ``RunTrace`` counters, mask memory and supervisor telemetry
+    are re-emitted through it.
+:mod:`repro.obs.progress`
+    Throttled stderr heartbeat lines (``mine --progress``).
+
+Everything is tied together by :class:`Observation` (one session) and
+the :func:`current`/:func:`activate` stack; the pipeline activates the
+config-selected session, so disabled observability is a handful of
+no-op method calls and nothing else.  See docs/OBSERVABILITY.md for
+the span taxonomy and metric catalogue.
+"""
+
+from repro.obs import clock  # noqa: F401  (re-exported submodule)
+from repro.obs.metrics import (
+    MetricsRegistry,
+    NULL_METRICS,
+    NullMetrics,
+    emit_run_trace,
+)
+from repro.obs.progress import NULL_PROGRESS, NullProgress, ProgressEmitter
+from repro.obs.session import NULL_OBS, Observation, activate, current
+from repro.obs.trace import (
+    NULL_TRACER,
+    NullTracer,
+    SpanRecord,
+    SpanTracer,
+)
+
+__all__ = [
+    "MetricsRegistry",
+    "NULL_METRICS",
+    "NULL_OBS",
+    "NULL_PROGRESS",
+    "NULL_TRACER",
+    "NullMetrics",
+    "NullProgress",
+    "NullTracer",
+    "Observation",
+    "ProgressEmitter",
+    "SpanRecord",
+    "SpanTracer",
+    "activate",
+    "clock",
+    "current",
+    "emit_run_trace",
+]

@@ -1,0 +1,32 @@
+"""The injected-clock seam: the only sanctioned ``time`` import.
+
+Every wall-clock read and sleep in ``repro`` goes through this module
+so that (a) the determinism linter can verify that no mining code
+consults the clock directly (DET003 keeps ``core/`` clean; OBS002
+extends the contract to the whole package — see docs/INVARIANTS.md,
+family 6), and (b) tests can monkeypatch one seam to drive timers,
+span clocks and backoff sleeps deterministically.
+
+The names are rebound module attributes, not wrappers: calling through
+``clock.perf_counter()`` costs one attribute lookup over ``import
+time`` and keeps monkeypatching trivial (``monkeypatch.setattr(clock,
+"perf_counter", fake)``).
+"""
+
+from __future__ import annotations
+
+import time as _time
+
+#: Monotonic high-resolution timer; feeds span start/end stamps and
+#: every ``*_seconds`` measurement.
+perf_counter = _time.perf_counter
+
+#: Monotonic coarse timer (kept for completeness; prefer
+#: :func:`perf_counter`).
+monotonic = _time.monotonic
+
+#: Blocking sleep; the supervisor's backoff and the fault injector's
+#: hang both route through here.
+sleep = _time.sleep
+
+__all__ = ["perf_counter", "monotonic", "sleep"]

@@ -101,6 +101,18 @@ entry.  Injected failures are recovered by retry or bit-exact
 in-process degradation, so **all counter bounds still apply unchanged
 under any fault plan** — that is the CI chaos-smoke job's gate.
 
+Schema v7 adds observability (:mod:`repro.obs`): the suite-level
+``--trace FILE`` records nested spans — including real worker-process
+lanes from the partitioned build and the sharded search — into one
+Chrome trace-event file, ``--progress`` streams throttled heartbeats
+to stderr, and ``--metrics FILE`` gives every measured run a *fresh*
+metrics registry whose snapshot (counters/gauges/histograms) is folded
+into the run entry as ``"metrics"`` and collected into FILE keyed by
+``workload/label/case``.  Recording is read-only observation of the
+same code path: counters, DL floats and merge sequences are unchanged,
+so **all counter bounds apply unchanged with observability on** — the
+CI perf-smoke job's traced re-run gates exactly that.
+
 A single workload family can be re-measured without discarding the
 rest of an existing document: ``--workload <name>`` (repeatable)
 restricts the run, and when the output file already exists its other
@@ -170,7 +182,6 @@ import contextlib
 import json
 import os
 import sys
-import time
 from typing import Any, Dict, List, Optional, Sequence
 
 from repro.config import (
@@ -186,10 +197,18 @@ from repro.core.search_shard import connected_components, run_sharded
 from repro.datasets import load_dataset
 from repro.datasets.synthetic import community_attributed_graph
 from repro.graphs.attributed_graph import AttributedGraph
+from repro.obs import (
+    MetricsRegistry,
+    Observation,
+    activate,
+    clock,
+    current,
+    emit_run_trace,
+)
 from repro.pipeline import BuildInvertedDB, EncodeCoresets, PipelineContext
 from repro.runtime.supervisor import RuntimePolicy
 
-SCHEMA_VERSION = 6
+SCHEMA_VERSION = 7
 
 WORKLOAD_NAMES = (
     "sparse-scaling",
@@ -329,6 +348,7 @@ def _run_case(
     search: str = "serial",
     search_workers: Optional[int] = None,
     policy: Optional[RuntimePolicy] = None,
+    metrics: bool = False,
 ) -> Dict[str, Any]:
     """One measured search run on a fresh copy of the database.
 
@@ -338,29 +358,51 @@ def _run_case(
     under ``policy``'s supervision, recording schema v6's ``retries``/
     ``degraded_tasks`` when a pool actually ran; ``basic`` runs always
     stay serial.
+
+    ``metrics`` (schema v7) gives this run a fresh
+    :class:`~repro.obs.MetricsRegistry` — composed with whatever suite-
+    level tracer/progress session is active — and folds its snapshot
+    into the entry as ``"metrics"``, so per-run perf accounting never
+    bleeds across cases.
     """
     db = db0.copy()
     report = None
-    start = time.perf_counter()
-    if algorithm == "basic":
-        trace = run_basic(
-            db, standard, core, initial_dl_bits=initial_bits,
-            pair_source=pair_source,
-        )
-    elif search == "sharded":
-        sharded = run_sharded(
-            db, standard, core, initial_dl_bits=initial_bits,
-            pair_source=pair_source, workers=search_workers,
-            policy=policy,
-        )
-        trace = sharded.trace
-        report = sharded.report
-    else:
-        trace = run_partial(
-            db, standard, core, initial_dl_bits=initial_bits,
-            pair_source=pair_source,
-        )
-    wall = time.perf_counter() - start
+    parent = current()
+    registry = MetricsRegistry() if metrics else None
+    obs = (
+        Observation(parent.tracer, registry, parent.progress)
+        if registry is not None
+        else parent
+    )
+    with activate(obs), obs.span(
+        "bench.run",
+        algorithm=algorithm,
+        pair_source=pair_source,
+        search=search,
+    ):
+        start = clock.perf_counter()
+        if algorithm == "basic":
+            trace = run_basic(
+                db, standard, core, initial_dl_bits=initial_bits,
+                pair_source=pair_source,
+            )
+        elif search == "sharded":
+            sharded = run_sharded(
+                db, standard, core, initial_dl_bits=initial_bits,
+                pair_source=pair_source, workers=search_workers,
+                policy=policy,
+            )
+            trace = sharded.trace
+            report = sharded.report
+        else:
+            trace = run_partial(
+                db, standard, core, initial_dl_bits=initial_bits,
+                pair_source=pair_source,
+            )
+        wall = clock.perf_counter() - start
+        emit_run_trace(obs.metrics, trace)
+        if obs.metrics.enabled:
+            obs.metrics.histogram("search.seconds").observe(wall)
     entry = {
         "wall_seconds": round(wall, 6),
         "search_seconds": round(wall, 6),
@@ -391,6 +433,8 @@ def _run_case(
     if report is not None:
         entry["retries"] = report.retries
         entry["degraded_tasks"] = list(report.degraded_tasks)
+    if registry is not None:
+        entry["metrics"] = registry.snapshot()
     return entry
 
 
@@ -406,6 +450,7 @@ def _measure_size(
     search_workers: Optional[int] = None,
     workload: Optional[str] = None,
     runtime_kwargs: Optional[Dict[str, Any]] = None,
+    metrics: bool = False,
 ) -> Dict[str, Any]:
     """All (algorithm, pair_source) runs for one workload size."""
     db0, standard, core, initial_bits, construction_seconds = _prepare(
@@ -441,6 +486,7 @@ def _measure_size(
                 search=search,
                 search_workers=search_workers,
                 policy=policy,
+                metrics=metrics,
             )
     entry: Dict[str, Any] = {
         "label": label,
@@ -590,8 +636,16 @@ def run_suite(
     max_task_retries: int = 2,
     on_worker_failure: str = "degrade",
     fault_plan: Optional[Any] = None,
+    metrics: bool = False,
 ) -> Dict[str, Any]:
     """Run the workloads and return the ``BENCH_cspm.json`` document.
+
+    ``metrics`` (schema v7) gives every measured run a fresh metrics
+    registry and records its snapshot in the run entry; span tracing
+    and progress heartbeats are *session-scoped* instead — activate an
+    :class:`repro.obs.Observation` around this call (as
+    :func:`execute` does for ``--trace``/``--progress``) and every
+    stage and worker pool records into it.
 
     ``only`` restricts the run to the named workload families (see
     ``WORKLOAD_NAMES``); unknown names raise ``ValueError`` so CLI
@@ -669,6 +723,7 @@ def run_suite(
             search_workers=search_workers,
             workload=workload,
             runtime_kwargs=runtime_kwargs,
+            metrics=metrics,
             **kwargs,
         )
 
@@ -775,6 +830,7 @@ def run_suite(
         "max_task_retries": max_task_retries,
         "on_worker_failure": on_worker_failure,
         "fault_plan": plan.to_dict() if plan is not None else None,
+        "metrics": metrics,
         "workloads": workloads,
     }
 
@@ -1130,6 +1186,32 @@ def add_bench_arguments(parser: argparse.ArgumentParser) -> None:
         "apply unchanged under any plan (the CI chaos smoke's gate)",
     )
     parser.add_argument(
+        "--trace",
+        dest="trace",
+        default=None,
+        metavar="FILE",
+        help="record observability spans for every measured run — "
+        "pipeline stages, worker pools, real worker-process lanes "
+        "(repro.obs) — into one Chrome trace-event file (NDJSON when "
+        "FILE ends with '.ndjson'); recording never changes counters",
+    )
+    parser.add_argument(
+        "--metrics",
+        dest="metrics",
+        default=None,
+        metavar="FILE",
+        help="give every measured run a fresh metrics registry (schema "
+        "v7: snapshots folded into the run entries) and collect them "
+        "into FILE keyed by workload/label/case",
+    )
+    parser.add_argument(
+        "--progress",
+        dest="progress",
+        action="store_true",
+        help="stream throttled progress heartbeats for long phases to "
+        "stderr",
+    )
+    parser.add_argument(
         "--list-workloads",
         "--list",
         dest="list_workloads",
@@ -1146,26 +1228,62 @@ def add_bench_arguments(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def collect_metrics(document: Dict[str, Any]) -> Dict[str, Any]:
+    """Per-run metric snapshots keyed ``workload/label/case``.
+
+    The ``--metrics FILE`` document: a flat view over the snapshots
+    already embedded in the run entries, so the file and the BENCH
+    document can never disagree.
+    """
+    collected: Dict[str, Any] = {}
+    for workload in document.get("workloads", []):
+        for entry in workload["series"]:
+            for case, run in entry["runs"].items():
+                snapshot = run.get("metrics")
+                if snapshot is not None:
+                    key = f"{workload['workload']}/{entry['label']}/{case}"
+                    collected[key] = snapshot
+    return collected
+
+
 def execute(args) -> int:
     """Run the suite per parsed ``args`` (see :func:`add_bench_arguments`)."""
     if getattr(args, "list_workloads", False):
         print(format_workload_catalog())
         return 0
-    fresh = run_suite(
-        quick=args.quick,
-        seed=args.seed,
-        log=print,
-        only=args.workloads,
-        mask_backend=args.mask_backend,
-        construction=args.construction,
-        construction_workers=args.construction_workers,
-        search=args.search,
-        search_workers=args.search_workers,
-        worker_timeout=getattr(args, "worker_timeout", None),
-        max_task_retries=getattr(args, "max_task_retries", 2),
-        on_worker_failure=getattr(args, "on_worker_failure", "degrade"),
-        fault_plan=getattr(args, "fault_plan", None),
+    # The suite-level observation session: one tracer/progress stream
+    # shared by every measured run (worker spans fold into its
+    # timeline); per-run metric registries are created inside
+    # _run_case so snapshots stay per-case.
+    obs = Observation.create(
+        trace=getattr(args, "trace", None) is not None,
+        progress=bool(getattr(args, "progress", False)),
     )
+    with activate(obs):
+        fresh = run_suite(
+            quick=args.quick,
+            seed=args.seed,
+            log=print,
+            only=args.workloads,
+            mask_backend=args.mask_backend,
+            construction=args.construction,
+            construction_workers=args.construction_workers,
+            search=args.search,
+            search_workers=args.search_workers,
+            worker_timeout=getattr(args, "worker_timeout", None),
+            max_task_retries=getattr(args, "max_task_retries", 2),
+            on_worker_failure=getattr(args, "on_worker_failure", "degrade"),
+            fault_plan=getattr(args, "fault_plan", None),
+            metrics=getattr(args, "metrics", None) is not None,
+        )
+    if getattr(args, "trace", None):
+        obs.tracer.write(args.trace)
+        print(f"wrote trace to {args.trace}", file=sys.stderr)
+    if getattr(args, "metrics", None):
+        with open(args.metrics, "w", encoding="utf-8") as handle:
+            json.dump(collect_metrics(fresh), handle, indent=2)
+            handle.write("\n")
+        print(f"wrote metrics to {args.metrics}", file=sys.stderr)
     document = fresh
     if args.workloads:
         try:

@@ -30,7 +30,6 @@ Example::
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import (
     Any,
@@ -61,6 +60,7 @@ from repro.core.mdl import (
 from repro.core.result import CSPMResult
 from repro.errors import MiningError
 from repro.graphs.attributed_graph import AttributedGraph
+from repro.obs import Observation, activate, clock, current, emit_run_trace
 from repro.runtime.supervisor import RuntimePolicy
 
 Value = Hashable
@@ -88,6 +88,11 @@ class PipelineContext:
     astars: Optional[List[AStar]] = None
     result: Optional[CSPMResult] = None
     extras: Dict[str, Any] = field(default_factory=dict)
+    #: The observation session the stages ran under — the config-
+    #: selected :class:`repro.obs.Observation` (or the session already
+    #: active at the call site); callers export its trace/metrics
+    #: after the run.
+    obs: Optional[Observation] = None
 
     def recompute_initial_dl(self) -> DescriptionLength:
         """Refresh ``initial_dl`` from the current database state.
@@ -151,33 +156,44 @@ class EncodeCoresets(PipelineStage):
 
     def run(self, context: PipelineContext) -> None:
         graph = context.graph
-        context.standard_table = StandardCodeTable.from_graph(graph)
-        if context.config.coreset_encoder == "singleton":
-            context.coreset_positions = {
-                frozenset([value]): vertices
-                for value, vertices in graph.value_positions().items()
-            }
-            context.core_table = CoreCodeTable.singletons_from_graph(graph)
-            return
-        # Multi-value coresets: mine itemsets over vertex attribute sets
-        # and cover each vertex's attribute set with them.
-        from repro.itemsets import cover_database, mine_code_table
+        obs = current()
+        with obs.span(
+            "mine.encode", encoder=context.config.coreset_encoder
+        ):
+            context.standard_table = StandardCodeTable.from_graph(graph)
+            if context.config.coreset_encoder == "singleton":
+                context.coreset_positions = {
+                    frozenset([value]): vertices
+                    for value, vertices in graph.value_positions().items()
+                }
+                context.core_table = CoreCodeTable.singletons_from_graph(graph)
+            else:
+                # Multi-value coresets: mine itemsets over vertex
+                # attribute sets and cover each vertex's attribute set
+                # with them.
+                from repro.itemsets import cover_database, mine_code_table
 
-        vertices = [v for v in graph.vertices() if graph.attributes_of(v)]
-        transactions = [graph.attributes_of(v) for v in vertices]
-        code_table = mine_code_table(
-            transactions, algorithm=context.config.coreset_encoder
-        )
-        covers = cover_database(code_table, transactions)
-        positions: Dict[FrozenSet[Value], Set[Vertex]] = {}
-        usage: Dict[FrozenSet[Value], int] = {}
-        for vertex, cover in zip(vertices, covers):
-            for itemset in cover:
-                key = frozenset(itemset)
-                positions.setdefault(key, set()).add(vertex)
-                usage[key] = usage.get(key, 0) + 1
-        context.coreset_positions = positions
-        context.core_table = CoreCodeTable(usage)
+                vertices = [
+                    v for v in graph.vertices() if graph.attributes_of(v)
+                ]
+                transactions = [graph.attributes_of(v) for v in vertices]
+                code_table = mine_code_table(
+                    transactions, algorithm=context.config.coreset_encoder
+                )
+                covers = cover_database(code_table, transactions)
+                positions: Dict[FrozenSet[Value], Set[Vertex]] = {}
+                usage: Dict[FrozenSet[Value], int] = {}
+                for vertex, cover in zip(vertices, covers):
+                    for itemset in cover:
+                        key = frozenset(itemset)
+                        positions.setdefault(key, set()).add(vertex)
+                        usage[key] = usage.get(key, 0) + 1
+                context.coreset_positions = positions
+                context.core_table = CoreCodeTable(usage)
+        if obs.metrics.enabled:
+            obs.metrics.gauge("encode.num_coresets").set(
+                len(context.coreset_positions)
+            )
 
 
 class BuildInvertedDB(PipelineStage):
@@ -202,31 +218,44 @@ class BuildInvertedDB(PipelineStage):
 
     def run(self, context: PipelineContext) -> None:
         config = context.config
+        obs = current()
         backend = resolve_backend(
             config.mask_backend,
             num_bits_hint=context.graph.num_vertices,
         )
-        start = time.perf_counter()
-        context.inverted_db = InvertedDatabase.from_graph(
-            context.graph,
-            context.coreset_positions,
-            mask_backend=backend,
-            construction=config.construction,
-            construction_workers=config.construction_workers,
-            runtime_policy=(
-                RuntimePolicy.from_config(config)
-                if config.construction == "partitioned"
-                else None
-            ),
-        )
-        context.extras["construction_seconds"] = time.perf_counter() - start
-        report = context.inverted_db.construction_report
-        if report is not None:
-            context.extras.setdefault("runtime", {})["construction"] = (
-                report.to_dict()
+        with obs.span("mine.build", construction=config.construction):
+            start = clock.perf_counter()
+            context.inverted_db = InvertedDatabase.from_graph(
+                context.graph,
+                context.coreset_positions,
+                mask_backend=backend,
+                construction=config.construction,
+                construction_workers=config.construction_workers,
+                runtime_policy=(
+                    RuntimePolicy.from_config(config)
+                    if config.construction == "partitioned"
+                    else None
+                ),
             )
-        context.initial_dl = initial_description_length(
-            context.inverted_db, context.standard_table, context.core_table
+            elapsed = clock.perf_counter() - start
+            context.extras["construction_seconds"] = elapsed
+            report = context.inverted_db.construction_report
+            if report is not None:
+                context.extras.setdefault("runtime", {})["construction"] = (
+                    report.to_dict()
+                )
+            context.initial_dl = initial_description_length(
+                context.inverted_db, context.standard_table, context.core_table
+            )
+        db = context.inverted_db
+        if obs.metrics.enabled:
+            obs.metrics.histogram("build.seconds").observe(elapsed)
+            obs.metrics.gauge("build.num_rows").set(db.num_rows)
+            obs.metrics.gauge("build.mask_memory_bytes").set(
+                db.mask_memory_bytes()
+            )
+        obs.progress.note(
+            "build", rows=db.num_rows, seconds=round(elapsed, 3)
         )
 
 
@@ -269,6 +298,7 @@ class Search(PipelineStage):
 
     def run(self, context: PipelineContext) -> None:
         config = context.config
+        obs = current()
         # BuildInvertedDB already computed the starting DL on the fresh
         # database; hand it to the search instead of recomputing.
         initial_bits = (
@@ -276,7 +306,35 @@ class Search(PipelineStage):
             if context.initial_dl is not None
             else None
         )
-        start = time.perf_counter()
+        start = clock.perf_counter()
+        with obs.span(
+            "mine.search",
+            method=config.method,
+            search=config.search,
+            scope=config.partial_update_scope,
+        ):
+            self._dispatch(context, config, initial_bits)
+        elapsed = clock.perf_counter() - start
+        context.extras["search_seconds"] = elapsed
+        if obs.metrics.enabled:
+            obs.metrics.histogram("search.seconds").observe(elapsed)
+            emit_run_trace(obs.metrics, context.trace)
+        obs.progress.note(
+            "search",
+            merges=len(context.trace.iterations),
+            seconds=round(elapsed, 3),
+        )
+        # No final description_length pass here: the incremental total
+        # lives in context.trace.final_dl_bits, and the result computes
+        # the component breakdown lazily on first access.
+        context.final_dl = None
+
+    def _dispatch(
+        self,
+        context: PipelineContext,
+        config: CSPMConfig,
+        initial_bits: Optional[float],
+    ) -> None:
         if config.method == "basic":
             context.trace = run_basic(
                 context.inverted_db,
@@ -321,11 +379,6 @@ class Search(PipelineStage):
                 initial_dl_bits=initial_bits,
                 pair_source=self.pair_source,
             )
-        context.extras["search_seconds"] = time.perf_counter() - start
-        # No final description_length pass here: the incremental total
-        # lives in context.trace.final_dl_bits, and the result computes
-        # the component breakdown lazily on first access.
-        context.final_dl = None
 
 
 class RankAndFilter(PipelineStage):
@@ -338,6 +391,15 @@ class RankAndFilter(PipelineStage):
 
     def run(self, context: PipelineContext) -> None:
         config = context.config
+        obs = current()
+        with obs.span(
+            "mine.rank", min_leafset=config.min_leafset, top_k=config.top_k
+        ):
+            self._rank(context, config)
+        if obs.metrics.enabled:
+            obs.metrics.gauge("rank.num_astars").set(len(context.astars))
+
+    def _rank(self, context: PipelineContext, config: CSPMConfig) -> None:
         db = context.inverted_db
         core_table = context.core_table
         astars = []
@@ -515,6 +577,15 @@ class MiningPipeline:
             graph=graph,
             config=config if config is not None else self.config,
         )
-        for stage in self._stages:
-            stage.run(context)
+        # The config-selected observation session wraps the stage loop;
+        # with no knobs set, inherit whatever session the caller
+        # already activated (the perf suite, a service layer) so spans
+        # land in one timeline either way.
+        obs = Observation.from_config(context.config)
+        if not obs.enabled:
+            obs = current()
+        context.obs = obs
+        with activate(obs):
+            for stage in self._stages:
+                stage.run(context)
         return context

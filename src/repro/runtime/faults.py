@@ -359,10 +359,11 @@ def execute_with_fault(payload: Tuple) -> Any:
             # reads steer behaviour) — a plain sleep is fine because
             # nothing downstream depends on how long it actually slept:
             # either the supervisor times out first, or the task
-            # completes normally afterwards.
-            import time
+            # completes normally afterwards.  The sleep routes through
+            # the injected-clock seam like every other timer (OBS002).
+            from repro.obs import clock
 
-            time.sleep(fault.hang_seconds)
+            clock.sleep(fault.hang_seconds)
             return worker(job)
         if fault.kind == "pickle":
             # The work itself succeeds; serialising the result does

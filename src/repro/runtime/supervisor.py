@@ -33,7 +33,6 @@ trustworthy fallback.
 
 from __future__ import annotations
 
-import time
 import zlib
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures import TimeoutError as FutureTimeoutError
@@ -42,6 +41,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import WorkerFailure
+from repro.obs import clock, current
 from repro.runtime.faults import (
     CorruptResult,
     FaultPlan,
@@ -79,15 +79,15 @@ class RuntimePolicy:
 
     ``worker_timeout=None`` means "use :data:`DEFAULT_WORKER_TIMEOUT`"
     — there is deliberately no way to wait forever.  ``sleep`` is the
-    injected clock (DET003): production uses :func:`time.sleep`, tests
-    pass a recorder.
+    injected clock (DET003): production uses the
+    :func:`repro.obs.clock.sleep` seam, tests pass a recorder.
     """
 
     worker_timeout: Optional[float] = None
     max_task_retries: int = 2
     on_worker_failure: str = "degrade"
     fault_plan: Optional[FaultPlan] = None
-    sleep: Callable[[float], None] = time.sleep
+    sleep: Callable[[float], None] = clock.sleep
 
     @property
     def effective_timeout(self) -> float:
@@ -212,7 +212,8 @@ def run_supervised(
     if policy is None:
         policy = RuntimePolicy()
     report = SiteReport(site=site, tasks=len(jobs))
-    started = time.perf_counter()
+    obs = current()
+    started = clock.perf_counter()
 
     results: Dict[int, Any] = {}
     attempts: Dict[int, int] = {index: 0 for index in range(len(jobs))}
@@ -237,14 +238,36 @@ def run_supervised(
         if attempts[index] <= policy.max_task_retries:
             report.retries += 1
             retry.append(index)
+            obs.instant(
+                "supervisor.retry",
+                site=site,
+                task=index,
+                attempt=attempts[index],
+                detail=detail,
+            )
         else:
             exhausted.append(index)
+            obs.instant(
+                "supervisor.exhausted",
+                site=site,
+                task=index,
+                attempt=attempts[index],
+                detail=detail,
+            )
+        obs.progress.note(
+            "runtime", site=site, task=index, failed=detail
+        )
 
     while pending:
         report.rounds += 1
         retry: List[int] = []
         exhausted: List[int] = []
-        with ProcessPoolExecutor(
+        with obs.span(
+            "supervisor.round",
+            site=site,
+            round=report.rounds,
+            tasks=len(pending),
+        ), ProcessPoolExecutor(
             max_workers=max(1, min(max_workers, len(pending))),
             mp_context=mp_context,
             # Forwarded verbatim; each call site passes a module-level
@@ -283,11 +306,15 @@ def run_supervised(
                 try:
                     value = future.result(timeout=timeout)
                 except FutureTimeoutError:
+                    obs.metrics.counter("runtime.timeouts").inc(1, site=site)
                     _charge(index, f"timed out after {timeout:g}s")
                     _kill_pool(pool)
                     broken = True
                     continue
                 except BrokenProcessPool:
+                    obs.metrics.counter("runtime.worker_crashes").inc(
+                        1, site=site
+                    )
                     _charge(index, "worker process died")
                     broken = True
                     continue
@@ -305,12 +332,18 @@ def run_supervised(
                     _charge(index, problem)
                 else:
                     results[index] = value
+                    obs.progress.heartbeat(
+                        "runtime",
+                        site=site,
+                        done=len(results),
+                        pending=len(jobs) - len(results),
+                    )
             if broken:
                 _kill_pool(pool)
 
         for index in exhausted:
             if policy.on_worker_failure == "raise":
-                report.seconds = time.perf_counter() - started
+                report.seconds = clock.perf_counter() - started
                 raise WorkerFailure(
                     f"{site} task {index} failed after "
                     f"{attempts[index]} attempts "
@@ -320,6 +353,9 @@ def run_supervised(
                     task_index=index,
                     attempts=attempts[index],
                 )
+            obs.instant("supervisor.degrade", site=site, task=index)
+            obs.metrics.counter("runtime.degraded_tasks").inc(1, site=site)
+            obs.progress.note("runtime", site=site, task=index, degraded=1)
             results[index] = _degrade(worker, jobs[index], index, report)
 
         pending = retry
@@ -328,5 +364,11 @@ def run_supervised(
             # round — keyed on the round's first retried task.
             policy.sleep(backoff_seconds(site, pending[0], attempts[pending[0]]))
 
-    report.seconds = time.perf_counter() - started
+    report.seconds = clock.perf_counter() - started
+    if obs.metrics.enabled:
+        obs.metrics.counter("runtime.retries").inc(report.retries, site=site)
+        obs.metrics.counter("runtime.rounds").inc(report.rounds, site=site)
+        obs.metrics.histogram("runtime.site_seconds").observe(
+            report.seconds, site=site
+        )
     return [results[index] for index in range(len(jobs))], report

@@ -609,6 +609,97 @@ class TestRES002:
 
 
 # ----------------------------------------------------------------------
+# OBS: observability (literal names, clock seam)
+# ----------------------------------------------------------------------
+
+OBS001_TP = """
+def instrument(obs, phase):
+    with obs.span("mine." + phase):
+        obs.metrics.counter(phase).inc()
+"""
+
+OBS001_TN = """
+def instrument(obs, site):
+    with obs.span("mine.search", site=site):
+        obs.metrics.counter("runtime.retries").inc(site=site)
+        obs.progress.heartbeat("search", merges=3)
+"""
+
+OBS001_UNRELATED_TN = """
+def melody(piano):
+    piano.note(61)
+    return piano.span(2, 9)
+"""
+
+OBS002_TP = """
+import time
+
+def stamp():
+    return time.perf_counter()
+"""
+
+OBS002_FROM_TP = """
+from time import perf_counter
+"""
+
+OBS002_TN = """
+from repro.obs import clock
+
+def stamp():
+    return clock.perf_counter()
+"""
+
+
+class TestOBS001:
+    def test_computed_names_flagged(self):
+        report = lint_one("core/search.py", OBS001_TP, ["OBS001"])
+        assert rules_of(report) == ["OBS001"]
+        assert len(report.findings) == 2
+        assert "string literal" in report.findings[0].message
+
+    def test_literal_names_with_label_kwargs_are_clean(self):
+        assert lint_one("core/search.py", OBS001_TN, ["OBS001"]).clean
+
+    def test_unrelated_apis_sharing_method_names_are_flagged(self):
+        # Non-string first arguments to .span()/.note() are flagged even
+        # on foreign objects -- the rule is name-based on purpose, and
+        # the tree has no such APIs; noqa is the escape hatch.
+        report = lint_one("synth.py", OBS001_UNRELATED_TN, ["OBS001"])
+        assert rules_of(report) == ["OBS001"]
+        assert len(report.findings) == 2
+
+    def test_obs_package_delegation_is_exempt(self):
+        assert lint_one("obs/session.py", OBS001_TP, ["OBS001"]).clean
+
+    def test_noqa_suppresses(self):
+        suppressed = OBS001_TP.replace(
+            'obs.metrics.counter(phase).inc()',
+            'obs.metrics.counter(phase).inc()  # repro: noqa[OBS001]',
+        ).replace(
+            'with obs.span("mine." + phase):',
+            'with obs.span("mine." + phase):  # repro: noqa[OBS001]',
+        )
+        assert lint_one("core/search.py", suppressed, ["OBS001"]).clean
+
+
+class TestOBS002:
+    def test_import_time_flagged(self):
+        report = lint_one("perf/suite.py", OBS002_TP, ["OBS002"])
+        assert rules_of(report) == ["OBS002"]
+        assert "clock" in report.findings[0].message
+
+    def test_from_time_import_flagged(self):
+        report = lint_one("batch.py", OBS002_FROM_TP, ["OBS002"])
+        assert rules_of(report) == ["OBS002"]
+
+    def test_clock_seam_import_is_clean(self):
+        assert lint_one("runtime/supervisor.py", OBS002_TN, ["OBS002"]).clean
+
+    def test_obs_clock_module_is_exempt(self):
+        assert lint_one("obs/clock.py", OBS002_TP, ["OBS002"]).clean
+
+
+# ----------------------------------------------------------------------
 # Baseline round-trip
 # ----------------------------------------------------------------------
 
@@ -687,6 +778,8 @@ class TestShippedTree:
             "CFG002",
             "RES001",
             "RES002",
+            "OBS001",
+            "OBS002",
         }
         for rule in RULE_REGISTRY.values():
             assert rule.title
